@@ -1,0 +1,258 @@
+// Package bidiag provides parallel tiled bidiagonalization and singular
+// value computation, a Go implementation of the algorithms of Faverge,
+// Langou, Robert and Dongarra, "Bidiagonalization and R-Bidiagonalization:
+// Parallel Tiled Algorithms, Critical Paths and Distributed-Memory
+// Implementation" (IPDPS 2017).
+//
+// The package reduces a dense m×n matrix (m ≥ n) to band-bidiagonal form
+// with tiled orthogonal transformations (GE2BND), optionally preceded by a
+// QR factorization (R-bidiagonalization) for tall-skinny matrices, then to
+// bidiagonal form by bulge chasing (BND2BD), and finally to singular
+// values by the Demmel–Kahan QR iteration (BD2VAL):
+//
+//	sv, err := bidiag.SingularValues(a, nil)          // defaults
+//
+//	opts := &bidiag.Options{Tree: bidiag.Greedy, NB: 64, Workers: 8}
+//	sv, err = bidiag.SingularValues(a, opts)
+//
+// Every QR/LQ panel reduction is driven by a configurable reduction tree
+// (FlatTS, FlatTT, Greedy, or the adaptive Auto tree of the paper), and
+// the whole computation executes as a task graph on a data-flow runtime.
+package bidiag
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"github.com/tiled-la/bidiag/internal/band"
+	"github.com/tiled-la/bidiag/internal/bdsqr"
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// Tree selects the reduction tree used for every QR and LQ panel.
+type Tree int
+
+const (
+	// Auto is the adaptive tree of the paper's Section V: FLATTS groups
+	// sized to keep every core busy, chained by a GREEDY tree. It is the
+	// recommended default ("AUTO outperforms its competitors in almost
+	// every test case").
+	Auto Tree = iota
+	// FlatTS eliminates each panel sequentially with the most efficient
+	// (TS) kernels: best asymptotic kernel throughput, least parallelism.
+	FlatTS
+	// FlatTT is the flat tree with TT kernels: more update parallelism at
+	// lower kernel efficiency.
+	FlatTT
+	// Greedy reduces each panel by a binomial tree in ⌈log₂⌉ rounds, the
+	// minimum-depth reduction.
+	Greedy
+)
+
+func (t Tree) String() string {
+	switch t {
+	case Auto:
+		return "Auto"
+	case FlatTS:
+		return "FlatTS"
+	case FlatTT:
+		return "FlatTT"
+	case Greedy:
+		return "Greedy"
+	}
+	return fmt.Sprintf("Tree(%d)", int(t))
+}
+
+func (t Tree) kind() (trees.Kind, error) {
+	switch t {
+	case Auto:
+		return trees.Auto, nil
+	case FlatTS:
+		return trees.FlatTS, nil
+	case FlatTT:
+		return trees.FlatTT, nil
+	case Greedy:
+		return trees.Greedy, nil
+	}
+	return 0, fmt.Errorf("bidiag: unknown tree %d", int(t))
+}
+
+// Algorithm selects between direct bidiagonalization and
+// R-bidiagonalization.
+type Algorithm int
+
+const (
+	// AutoAlgorithm applies Chan's operation-count rule: R-bidiagonalize
+	// when m ≥ 5n/3, bidiagonalize directly otherwise.
+	AutoAlgorithm Algorithm = iota
+	// Bidiag always uses the direct tiled bidiagonalization.
+	Bidiag
+	// RBidiag always performs the QR factorization first.
+	RBidiag
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AutoAlgorithm:
+		return "AutoAlgorithm"
+	case Bidiag:
+		return "Bidiag"
+	case RBidiag:
+		return "RBidiag"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures the reduction. The zero value (or a nil pointer)
+// selects the defaults of the paper's implementation.
+type Options struct {
+	// NB is the tile size (default 64; the paper tunes 160 for its
+	// hardware).
+	NB int
+	// Tree is the reduction tree (default Auto).
+	Tree Tree
+	// Algorithm picks direct or R-bidiagonalization (default: Chan's
+	// m ≥ 5n/3 rule).
+	Algorithm Algorithm
+	// Workers is the number of parallel workers (default GOMAXPROCS).
+	Workers int
+	// Gamma is the AUTO tree's parallelism target multiplier (default 2).
+	Gamma int
+}
+
+func (o *Options) withDefaults() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.NB <= 0 {
+		v.NB = 64
+	}
+	if v.Workers <= 0 {
+		v.Workers = runtime.GOMAXPROCS(0)
+	}
+	if v.Gamma <= 0 {
+		v.Gamma = 2
+	}
+	return v
+}
+
+// Dense is a column-major dense matrix, the package's input type.
+type Dense struct {
+	inner *nla.Matrix
+}
+
+// NewDense allocates a zeroed m×n matrix.
+func NewDense(m, n int) *Dense {
+	return &Dense{inner: nla.NewMatrix(m, n)}
+}
+
+// NewDenseFromColMajor wraps column-major data (a[i + j*m] is element
+// (i, j)) without copying; len(data) must be at least m*n.
+func NewDenseFromColMajor(m, n int, data []float64) (*Dense, error) {
+	if len(data) < m*n {
+		return nil, fmt.Errorf("bidiag: need %d elements, got %d", m*n, len(data))
+	}
+	return &Dense{inner: nla.FromColMajor(m, n, m, data)}, nil
+}
+
+// Rows returns the row count.
+func (d *Dense) Rows() int { return d.inner.Rows }
+
+// Cols returns the column count.
+func (d *Dense) Cols() int { return d.inner.Cols }
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.inner.At(i, j) }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.inner.Set(i, j, v) }
+
+// Band is the band-bidiagonal result of GE2BND.
+type Band struct {
+	b *band.Matrix
+	// UsedRBidiag reports whether the R-bidiagonalization path ran.
+	UsedRBidiag bool
+	// TasksExecuted is the number of kernel tasks in the DAG.
+	TasksExecuted int
+}
+
+// N returns the order of the band matrix.
+func (b *Band) N() int { return b.b.N }
+
+// Bandwidth returns the number of stored superdiagonals.
+func (b *Band) Bandwidth() int { return b.b.KU }
+
+// At returns element (i, j) of the band matrix (zero outside the band).
+func (b *Band) At(i, j int) float64 { return b.b.At(i, j) }
+
+// SingularValues finishes the pipeline on the band: BND2BD bulge chasing
+// followed by the bidiagonal QR iteration.
+func (b *Band) SingularValues() ([]float64, error) {
+	r := band.Reduce(b.b)
+	d, e := r.Bidiagonal()
+	return bdsqr.SingularValues(d, e)
+}
+
+// GE2BND reduces a to band-bidiagonal form using the tiled BIDIAG or
+// R-BIDIAG algorithm. The input matrix is not modified. Matrices with
+// m < n are reduced through their transpose (singular values are
+// unaffected).
+func GE2BND(a *Dense, o *Options) (*Band, error) {
+	opts := o.withDefaults()
+	treeKind, err := opts.Tree.kind()
+	if err != nil {
+		return nil, err
+	}
+	src := a.inner
+	if src.Rows < src.Cols {
+		src = src.Transpose()
+	}
+	m, n := src.Rows, src.Cols
+	if m == 0 || n == 0 {
+		return nil, errors.New("bidiag: empty matrix")
+	}
+
+	useR := opts.Algorithm == RBidiag ||
+		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
+	if opts.Algorithm == RBidiag && m < n {
+		return nil, errors.New("bidiag: R-bidiagonalization requires m ≥ n")
+	}
+
+	work := tile.FromDense(src, opts.NB)
+	sh := core.ShapeOf(m, n, opts.NB)
+	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers}
+	g := sched.NewGraph()
+	result := work
+	if useR {
+		_, r := core.BuildRBidiag(g, sh, work, cfg)
+		result = r
+	} else {
+		core.BuildBidiag(g, sh, work, cfg)
+	}
+	if opts.Workers > 1 {
+		g.RunParallel(opts.Workers)
+	} else {
+		g.RunSequential()
+	}
+	return &Band{
+		b:             result.ExtractBand(result.NB),
+		UsedRBidiag:   useR,
+		TasksExecuted: len(g.Tasks),
+	}, nil
+}
+
+// SingularValues returns the singular values of a in descending order,
+// computed by the full GE2BND + BND2BD + BD2VAL pipeline.
+func SingularValues(a *Dense, o *Options) ([]float64, error) {
+	b, err := GE2BND(a, o)
+	if err != nil {
+		return nil, err
+	}
+	return b.SingularValues()
+}

@@ -1,0 +1,268 @@
+package bidiag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/latms"
+)
+
+func randomDense(seed int64, m, n int) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+func TestSingularValuesDefaults(t *testing.T) {
+	a := randomDense(1, 60, 40)
+	want := jacobi.SingularValues(a.inner)
+	got, err := SingularValues(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("defaults off by %g", diff)
+	}
+}
+
+func TestSingularValuesAllTreesAndAlgorithms(t *testing.T) {
+	a := randomDense(2, 50, 20)
+	want := jacobi.SingularValues(a.inner)
+	for _, tr := range []Tree{Auto, FlatTS, FlatTT, Greedy} {
+		for _, alg := range []Algorithm{AutoAlgorithm, Bidiag, RBidiag} {
+			got, err := SingularValues(a, &Options{Tree: tr, Algorithm: alg, NB: 8, Workers: 3})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", tr, alg, err)
+			}
+			if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+				t.Errorf("%v/%v: off by %g", tr, alg, diff)
+			}
+		}
+	}
+}
+
+func TestPaperAccuracyProtocol(t *testing.T) {
+	// The paper's check: generate matrices with prescribed singular values
+	// (LATMS) and verify the pipeline recovers them to machine precision.
+	rng := rand.New(rand.NewSource(3))
+	for _, mode := range []latms.Mode{latms.Geometric, latms.Arithmetic, latms.OneSmall, latms.RandomLog} {
+		a, sigma := latms.Generate(rng, 96, 48, mode, 1e6)
+		d := &Dense{inner: a}
+		got, err := SingularValues(d, &Options{NB: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := jacobi.MaxRelDiff(got, sigma); diff > 1e-12 {
+			t.Errorf("mode %d: prescribed spectrum off by %g", mode, diff)
+		}
+	}
+}
+
+func TestWideMatrixTransposed(t *testing.T) {
+	a := randomDense(4, 20, 45)
+	want := jacobi.SingularValues(a.inner)
+	got, err := SingularValues(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("want min(m,n) singular values, got %d", len(got))
+	}
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("wide matrix off by %g", diff)
+	}
+}
+
+func TestGE2BNDBandShape(t *testing.T) {
+	a := randomDense(5, 64, 32)
+	b, err := GE2BND(a, &Options{NB: 8, Algorithm: Bidiag, Tree: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 32 || b.Bandwidth() != 8 {
+		t.Fatalf("band shape wrong: n=%d ku=%d", b.N(), b.Bandwidth())
+	}
+	if b.UsedRBidiag {
+		t.Fatalf("explicit Bidiag must not use R path")
+	}
+	if b.TasksExecuted == 0 {
+		t.Fatalf("task count missing")
+	}
+	// Frobenius mass is preserved by orthogonal reduction.
+	var bandSq, inSq float64
+	for i := 0; i < 32; i++ {
+		for j := i; j <= i+8 && j < 32; j++ {
+			bandSq += b.At(i, j) * b.At(i, j)
+		}
+	}
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 64; i++ {
+			inSq += a.At(i, j) * a.At(i, j)
+		}
+	}
+	if math.Abs(bandSq-inSq) > 1e-9*inSq {
+		t.Fatalf("band does not carry the matrix mass: %v vs %v", bandSq, inSq)
+	}
+}
+
+func TestAutoAlgorithmSwitch(t *testing.T) {
+	// m/n = 2 > 5/3: should take the R path.
+	a := randomDense(6, 80, 40)
+	b, err := GE2BND(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.UsedRBidiag {
+		t.Fatalf("80x40 should auto-select R-bidiagonalization")
+	}
+	// Square: direct path.
+	c := randomDense(7, 40, 40)
+	b2, err := GE2BND(c, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.UsedRBidiag {
+		t.Fatalf("square matrix should auto-select direct BIDIAG")
+	}
+}
+
+func TestNewDenseFromColMajor(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	d, err := NewDenseFromColMajor(2, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 2) != 6 || d.At(0, 1) != 3 {
+		t.Fatalf("column-major interpretation wrong")
+	}
+	if _, err := NewDenseFromColMajor(3, 3, data); err == nil {
+		t.Fatalf("short data should error")
+	}
+}
+
+func TestEmptyMatrixErrors(t *testing.T) {
+	if _, err := GE2BND(&Dense{inner: randomDense(8, 1, 1).inner.View(0, 0, 0, 0)}, nil); err == nil {
+		t.Fatalf("empty matrix should error")
+	}
+}
+
+func TestCriticalPathAPI(t *testing.T) {
+	// FlatTS closed form 12pq − 6p + 2q − 4.
+	got, err := CriticalPath(Bidiag, FlatTS, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(12*8*4 - 6*8 + 2*4 - 4)
+	if got != want {
+		t.Fatalf("CriticalPath = %v, want %v", got, want)
+	}
+	f, err := CriticalPathFormula(FlatTS, 8, 4)
+	if err != nil || f != want {
+		t.Fatalf("CriticalPathFormula = %v (%v)", f, err)
+	}
+	if _, err := CriticalPath(Bidiag, Auto, 8, 4); err == nil {
+		t.Fatalf("Auto tree must be rejected for CP analysis")
+	}
+	if _, err := CriticalPath(Bidiag, Greedy, 3, 4); err == nil {
+		t.Fatalf("p < q must be rejected")
+	}
+	best, err := CriticalPath(AutoAlgorithm, Greedy, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CriticalPath(Bidiag, Greedy, 40, 4)
+	r, _ := CriticalPath(RBidiag, Greedy, 40, 4)
+	if best != math.Min(b, r) {
+		t.Fatalf("AutoAlgorithm CP should be the min")
+	}
+}
+
+func TestCrossoverRatioAPI(t *testing.T) {
+	d, ok, err := CrossoverRatio(Greedy, 8, 16)
+	if err != nil || !ok {
+		t.Fatalf("crossover not found: %v", err)
+	}
+	if d < 2 || d > 9 {
+		t.Fatalf("δs implausible: %v", d)
+	}
+	if _, _, err := CrossoverRatio(Auto, 8, 16); err == nil {
+		t.Fatalf("Auto tree must be rejected")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Auto.String() != "Auto" || Greedy.String() != "Greedy" || Tree(9).String() == "" {
+		t.Fatalf("tree names")
+	}
+	if Bidiag.String() != "Bidiag" || RBidiag.String() != "RBidiag" || AutoAlgorithm.String() != "AutoAlgorithm" {
+		t.Fatalf("algorithm names")
+	}
+}
+
+func TestRBidiagOnWideRejected(t *testing.T) {
+	a := randomDense(9, 10, 20) // becomes 20x10 after transpose, fine...
+	// Transposed internally to 20x10, so RBidiag is legal; use explicit
+	// m<n via a square-defeating case: not possible through the public
+	// API since we transpose first. Instead verify RBidiag works on the
+	// transposed wide input.
+	got, err := SingularValues(a, &Options{Algorithm: RBidiag, NB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(a.inner)
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("RBidiag on wide input off by %g", diff)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	v := o.withDefaults()
+	if v.NB != 64 || v.Workers < 1 || v.Gamma != 2 {
+		t.Fatalf("nil options defaults wrong: %+v", v)
+	}
+	v2 := (&Options{NB: 128, Gamma: 4}).withDefaults()
+	if v2.NB != 128 || v2.Gamma != 4 {
+		t.Fatalf("explicit options overridden: %+v", v2)
+	}
+}
+
+func TestGE2BNDTinyNBLargerThanMatrix(t *testing.T) {
+	a := randomDense(20, 5, 3)
+	sv, err := SingularValues(a, &Options{NB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(a.inner)
+	if d := jacobi.MaxRelDiff(sv, want); d > 1e-12 {
+		t.Fatalf("tiny matrix with huge NB off by %g", d)
+	}
+}
+
+func TestBandAtOutside(t *testing.T) {
+	a := randomDense(21, 32, 16)
+	b, err := GE2BND(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(10, 0) != 0 {
+		t.Fatalf("below-diagonal band reads must be zero")
+	}
+}
+
+func TestInvalidTreeRejected(t *testing.T) {
+	a := randomDense(22, 8, 8)
+	if _, err := GE2BND(a, &Options{Tree: Tree(99)}); err == nil {
+		t.Fatalf("invalid tree must error")
+	}
+	if _, err := SVD(a, &Options{Tree: Tree(99)}); err == nil {
+		t.Fatalf("invalid tree must error in SVD")
+	}
+}

@@ -1,0 +1,128 @@
+// Command bidiagbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints an aligned table and writes a CSV
+// file next to it.
+//
+// Usage:
+//
+//	bidiagbench -exp fig2a              # one experiment
+//	bidiagbench -exp all -scale small   # everything, laptop sizes
+//	bidiagbench -list
+//
+// Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
+// critpaths, crossover, asymptotics, accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/experiments"
+)
+
+type runner func(experiments.Scale) []*experiments.Table
+
+func single(f func(experiments.Scale) *experiments.Table) runner {
+	return func(sc experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{f(sc)}
+	}
+}
+
+func pair(f func(experiments.Scale) (*experiments.Table, *experiments.Table)) runner {
+	return func(sc experiments.Scale) []*experiments.Table {
+		a, b := f(sc)
+		return []*experiments.Table{a, b}
+	}
+}
+
+var registry = map[string]runner{
+	"table1":      single(experiments.Table1),
+	"fig2a":       single(experiments.Fig2a),
+	"fig2b":       single(experiments.Fig2b),
+	"fig2c":       single(experiments.Fig2c),
+	"fig2d":       single(experiments.Fig2d),
+	"fig2e":       single(experiments.Fig2e),
+	"fig2f":       single(experiments.Fig2f),
+	"fig3a":       single(experiments.Fig3a),
+	"fig3b":       single(experiments.Fig3b),
+	"fig3c":       single(experiments.Fig3c),
+	"fig3d":       single(experiments.Fig3d),
+	"fig3e":       single(experiments.Fig3e),
+	"fig3f":       single(experiments.Fig3f),
+	"fig4a":       single(experiments.Fig4a),
+	"fig4bc":      pair(experiments.Fig4bc),
+	"fig4d":       single(experiments.Fig4d),
+	"fig4ef":      pair(experiments.Fig4ef),
+	"critpaths":   single(experiments.CriticalPaths),
+	"crossover":   single(experiments.Crossover),
+	"asymptotics": single(experiments.Asymptotics),
+	"accuracy":    single(experiments.Accuracy),
+
+	// Ablations of the design choices called out in DESIGN.md.
+	"ablation-deps":     single(experiments.AblationDeps),
+	"ablation-nb":       single(experiments.AblationNB),
+	"ablation-gamma":    single(experiments.AblationGamma),
+	"ablation-hightree": single(experiments.AblationHighTree),
+}
+
+func names() []string {
+	var n []string
+	for k := range registry {
+		n = append(n, k)
+	}
+	sort.Strings(n)
+	return n
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (or 'all')")
+	scale := flag.String("scale", "full", "problem sizes: full (paper) or small (laptop)")
+	out := flag.String("out", "experiments-out", "directory for CSV output")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:", strings.Join(names(), " "))
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+	sc := experiments.Scale{Small: *scale == "small"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = names()
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			if _, ok := registry[e]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", e)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range selected {
+		start := time.Now()
+		tables := registry[name](sc)
+		for _, t := range tables {
+			fmt.Println(t.Text())
+			path := filepath.Join(*out, t.Name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

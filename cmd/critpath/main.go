@@ -1,0 +1,70 @@
+// Command critpath explores the Section IV critical-path analysis from
+// the terminal: formula-versus-DAG checks, BIDIAG/R-BIDIAG comparisons,
+// the δs crossover study and the asymptotic ratios.
+//
+// Usage:
+//
+//	critpath -check                 # formulas vs DAG on a (p,q) grid
+//	critpath -p 40 -q 8             # one shape, all trees and algorithms
+//	critpath -crossover -qmax 24    # δs(q) study
+//	critpath -asymptotics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tiled-la/bidiag/internal/critpath"
+	"github.com/tiled-la/bidiag/internal/experiments"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+func main() {
+	check := flag.Bool("check", false, "verify the paper's formulas against DAG measurements")
+	cross := flag.Bool("crossover", false, "compute the δs(q) switching ratios")
+	asym := flag.Bool("asymptotics", false, "report Eq.(1) and Theorem 1 convergence")
+	p := flag.Int("p", 0, "tile rows for a single-shape report")
+	q := flag.Int("q", 0, "tile columns for a single-shape report")
+	qmax := flag.Int("qmax", 16, "largest q for the crossover study")
+	flag.Parse()
+
+	ran := false
+	if *check {
+		fmt.Println(experiments.CriticalPaths(experiments.Scale{}).Text())
+		ran = true
+	}
+	if *cross {
+		sc := experiments.Scale{}
+		if *qmax <= 8 {
+			sc.Small = true
+		}
+		fmt.Println(experiments.Crossover(sc).Text())
+		ran = true
+	}
+	if *asym {
+		fmt.Println(experiments.Asymptotics(experiments.Scale{}).Text())
+		ran = true
+	}
+	if *p > 0 && *q > 0 {
+		if *p < *q {
+			fmt.Fprintln(os.Stderr, "need p ≥ q")
+			os.Exit(2)
+		}
+		fmt.Printf("critical paths for a %d×%d tile matrix (units of nb³/3):\n\n", *p, *q)
+		fmt.Printf("%-8s  %12s  %12s  %14s  %16s\n", "tree", "BIDIAG", "R-BIDIAG", "BIDIAG(form.)", "R-BIDIAG(no-ovl)")
+		for _, tr := range []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy} {
+			fmt.Printf("%-8s  %12.0f  %12.0f  %14.0f  %16.0f\n",
+				tr,
+				critpath.MeasureBidiag(tr, *p, *q),
+				critpath.MeasureRBidiag(tr, *p, *q),
+				critpath.BidiagFormula(tr, *p, *q),
+				critpath.RBidiagNoOverlap(tr, *p, *q))
+		}
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

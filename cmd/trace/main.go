@@ -1,0 +1,62 @@
+// Command trace renders the schedule of a GE2BND task graph as a Chrome
+// tracing file (load in chrome://tracing or https://ui.perfetto.dev): a
+// Gantt view of how the chosen reduction tree fills the machine.
+//
+// Usage:
+//
+//	trace -p 32 -q 8 -tree Greedy -workers 8 -o schedule.json
+//	trace -p 16 -q 16 -tree Auto -rbidiag -o rbidiag.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+func main() {
+	p := flag.Int("p", 16, "tile rows")
+	q := flag.Int("q", 8, "tile columns")
+	treeName := flag.String("tree", "Greedy", "tree: FlatTS|FlatTT|Greedy|Auto")
+	workers := flag.Int("workers", 8, "virtual cores")
+	rbidiag := flag.Bool("rbidiag", false, "use R-BIDIAG instead of BIDIAG")
+	out := flag.String("o", "schedule.json", "output file")
+	flag.Parse()
+
+	tree, err := trees.ParseKind(*treeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *p < *q {
+		fmt.Fprintln(os.Stderr, "need p ≥ q")
+		os.Exit(2)
+	}
+
+	g := sched.NewGraph()
+	cfg := core.Config{Tree: tree, Cores: *workers}
+	sh := core.ShapeOf(*p, *q, 1)
+	if *rbidiag {
+		core.BuildRBidiag(g, sh, nil, cfg)
+	} else {
+		core.BuildBidiag(g, sh, nil, cfg)
+	}
+	res, events := g.SimulateFixedTrace(*workers, sched.WeightTime)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := sched.WriteChromeTrace(f, events, 1000); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d tasks, makespan %.0f units, utilization %.0f%% → %s\n",
+		res.Tasks, res.Makespan, res.Utilization*100, *out)
+}

@@ -1,0 +1,61 @@
+// Critical-path study: a runnable version of the paper's Section IV.
+// It verifies the closed formulas against the measured task graphs,
+// prints the GREEDY-versus-FLAT asymptotic separation, and locates the
+// BIDIAG → R-BIDIAG switching ratio δs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tiled-la/bidiag"
+)
+
+func main() {
+	// 1. The paper's closed forms hold exactly on the task graph.
+	fmt.Println("formula vs measured critical path (BIDIAG, units of nb³/3):")
+	fmt.Printf("%6s %6s  %-8s  %10s  %10s\n", "p", "q", "tree", "formula", "DAG")
+	for _, sh := range [][2]int{{8, 8}, {24, 8}, {32, 16}, {40, 13}} {
+		for _, tree := range []bidiag.Tree{bidiag.FlatTS, bidiag.FlatTT, bidiag.Greedy} {
+			f, err := bidiag.CriticalPathFormula(tree, sh[0], sh[1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, err := bidiag.CriticalPath(bidiag.Bidiag, tree, sh[0], sh[1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := ""
+			if f != d {
+				mark = "  MISMATCH"
+			}
+			fmt.Printf("%6d %6d  %-8s  %10.0f  %10.0f%s\n", sh[0], sh[1], tree, f, d, mark)
+		}
+	}
+
+	// 2. GREEDY is an order of magnitude shorter than the flat trees:
+	// Θ(q·log p) against Θ(pq).
+	fmt.Println("\nGREEDY vs FLAT separation on square tile matrices:")
+	for _, q := range []int{8, 16, 32, 64} {
+		fts, _ := bidiag.CriticalPath(bidiag.Bidiag, bidiag.FlatTS, q, q)
+		gre, _ := bidiag.CriticalPath(bidiag.Bidiag, bidiag.Greedy, q, q)
+		fmt.Printf("  q=%3d: FlatTS %8.0f   Greedy %8.0f   ratio %5.1fx\n", q, fts, gre, fts/gre)
+	}
+
+	// 3. The switching ratio δs(q) between BIDIAG and R-BIDIAG.
+	fmt.Println("\nswitching ratio δs(q) (Greedy trees, DAG-measured):")
+	for _, q := range []int{4, 8, 12, 16, 24} {
+		d, ok, err := bidiag.CrossoverRatio(bidiag.Greedy, q, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("  q=%3d: no crossover below p/q = 16\n", q)
+			continue
+		}
+		fmt.Printf("  q=%3d: δs = %.2f\n", q, d)
+	}
+	fmt.Println("\nthe paper's no-overlap accounting places δs in [5, 8]; the DAG")
+	fmt.Println("measurement is lower for small q because R-BIDIAG's QR phase")
+	fmt.Println("overlaps the bidiagonalization of the R factor.")
+}

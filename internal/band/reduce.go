@@ -1,0 +1,169 @@
+package band
+
+import "math"
+
+// Reduce performs the BND2BD stage: it reduces an upper-band matrix
+// (diagonal plus KU superdiagonals, the output shape of the tiled GE2BND
+// algorithms) to upper bidiagonal form with Givens rotations, chasing each
+// bulge off the end of the band, in the style of the Schwarz/Lang band
+// reduction used by PLASMA. The input is not modified; the returned matrix
+// has KU = 1 (or less for tiny n). Singular values are preserved.
+//
+// The reduction removes one superdiagonal at a time: annihilating element
+// (i, i+kb) with a column rotation creates a subdiagonal bulge at
+// (i+kb, i+kb−1); the row rotation that removes it spills one element to
+// superdiagonal kb+1, which the next column rotation pushes kb columns
+// further — O(n²·KU) work in total, memory bound, exactly the profile the
+// paper ascribes to BND2BD.
+func Reduce(b *Matrix) *Matrix {
+	n := b.N
+	if n == 0 {
+		return New(0, 0)
+	}
+	w := newWork(b)
+	for kb := b.KU; kb >= 2; kb-- {
+		w.eliminateDiagonal(kb)
+	}
+	out := New(n, min(1, n-1))
+	for i := 0; i < n; i++ {
+		out.diags[0][i] = w.get(i, i)
+	}
+	if n > 1 {
+		for i := 0; i < n-1; i++ {
+			out.diags[1][i] = w.get(i, i+1)
+		}
+	}
+	return out
+}
+
+// work is a band with one extra superdiagonal and one subdiagonal to hold
+// the transient bulge elements during the chase.
+type work struct {
+	n, ku int // ku = the original bandwidth
+	// diags[s+1][i] = element (i, i+s) for −1 ≤ s ≤ ku+1.
+	diags [][]float64
+}
+
+func newWork(b *Matrix) *work {
+	w := &work{n: b.N, ku: b.KU}
+	w.diags = make([][]float64, b.KU+3)
+	for s := -1; s <= b.KU+1; s++ {
+		ln := b.N
+		if s > 0 {
+			ln = b.N - s
+		} else if s < 0 {
+			ln = b.N + s
+		}
+		if ln < 0 {
+			ln = 0
+		}
+		w.diags[s+1] = make([]float64, ln)
+	}
+	for s := 0; s <= b.KU; s++ {
+		copy(w.diags[s+1], b.diags[s])
+	}
+	return w
+}
+
+func (w *work) get(i, j int) float64 {
+	s := j - i
+	if s < -1 || s > w.ku+1 || i < 0 || j < 0 || i >= w.n || j >= w.n {
+		return 0
+	}
+	if s >= 0 {
+		return w.diags[s+1][i]
+	}
+	return w.diags[0][j]
+}
+
+func (w *work) set(i, j int, v float64) {
+	s := j - i
+	if s >= 0 {
+		w.diags[s+1][i] = v
+	} else {
+		w.diags[0][j] = v
+	}
+}
+
+// givens returns (c, s) with c·f + s·g = r and −s·f + c·g = 0 (dlartg).
+func givens(f, g float64) (c, s float64) {
+	if g == 0 {
+		return 1, 0
+	}
+	if f == 0 {
+		return 0, 1
+	}
+	r := math.Hypot(f, g)
+	return f / r, g / r
+}
+
+// rotCols post-multiplies columns (c1, c1+1) by the rotation: col1 ←
+// c·col1 + s·col2, col2 ← −s·col1 + c·col2, over rows [rlo, rhi].
+func (w *work) rotCols(c1 int, c, s float64, rlo, rhi int) {
+	c2 := c1 + 1
+	for r := rlo; r <= rhi; r++ {
+		v1, v2 := w.get(r, c1), w.get(r, c2)
+		w.set(r, c1, c*v1+s*v2)
+		w.set(r, c2, -s*v1+c*v2)
+	}
+}
+
+// rotRows pre-multiplies rows (r1, r1+1) by the rotation: row1 ←
+// c·row1 + s·row2, row2 ← −s·row1 + c·row2, over columns [clo, chi].
+func (w *work) rotRows(r1 int, c, s float64, clo, chi int) {
+	r2 := r1 + 1
+	for col := clo; col <= chi; col++ {
+		v1, v2 := w.get(r1, col), w.get(r2, col)
+		w.set(r1, col, c*v1+s*v2)
+		w.set(r2, col, -s*v1+c*v2)
+	}
+}
+
+// eliminateDiagonal removes every element of superdiagonal kb, chasing the
+// resulting bulges off the band.
+func (w *work) eliminateDiagonal(kb int) {
+	n := w.n
+	for i := 0; i+kb < n; i++ {
+		// Annihilate (i, i+kb) with a right rotation on columns
+		// (i+kb−1, i+kb).
+		c := i + kb
+		f := w.get(i, c-1)
+		g := w.get(i, c)
+		if g == 0 {
+			continue
+		}
+		cs, sn := givens(f, g)
+		rlo := max(0, c-1-kb)
+		rhi := min(n-1, c) // row c receives the subdiagonal bulge
+		w.rotCols(c-1, cs, sn, rlo, rhi)
+
+		// Chase the bulge: subdiagonal at (c, c−1), then superdiagonal
+		// kb+1 at (c−1, c+kb), advancing kb columns per round.
+		for {
+			if c >= n {
+				break
+			}
+			// Zero (c, c−1) with a left rotation on rows (c−1, c).
+			f = w.get(c-1, c-1)
+			g = w.get(c, c-1)
+			if g != 0 {
+				cs, sn = givens(f, g)
+				chi := min(n-1, c+kb) // col c+kb receives the spill at row c−1
+				w.rotRows(c-1, cs, sn, c-1, chi)
+			}
+			// Zero the spill at (c−1, c+kb) with a right rotation on
+			// columns (c+kb−1, c+kb).
+			if c+kb > n-1 {
+				break
+			}
+			f = w.get(c-1, c+kb-1)
+			g = w.get(c-1, c+kb)
+			if g != 0 {
+				cs, sn = givens(f, g)
+				rhi := min(n-1, c+kb) // row c+kb receives the next bulge
+				w.rotCols(c+kb-1, cs, sn, c-1, rhi)
+			}
+			c += kb
+		}
+	}
+}

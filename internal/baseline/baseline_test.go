@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/bdsqr"
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/latms"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+func TestGEBD2AgainstJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{8, 8}, {15, 9}, {20, 5}, {7, 1}, {1, 1}} {
+		a := nla.RandomMatrix(rng, dims[0], dims[1])
+		want := jacobi.SingularValues(a)
+		d, e := GEBD2(a.Clone())
+		got, err := bdsqr.SingularValues(d, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+			t.Errorf("%v: GEBD2 off by %g", dims, diff)
+		}
+	}
+}
+
+func TestGEBD2ProducesBidiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := nla.RandomMatrix(rng, 10, 6)
+	GEBD2(a)
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 10; i++ {
+			if i == j || j == i+1 {
+				continue
+			}
+			if math.Abs(a.At(i, j)) > 1e-13 {
+				t.Fatalf("entry (%d,%d) = %g not annihilated", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestGEBD2PrescribedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, sigma := latms.Generate(rng, 24, 12, latms.Geometric, 1e4)
+	d, e := GEBD2(a.Clone())
+	got, err := bdsqr.SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(got, sigma); diff > 1e-12 {
+		t.Fatalf("prescribed spectrum off by %g", diff)
+	}
+}
+
+func TestQRHouseholder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := nla.RandomMatrix(rng, 12, 7)
+	want := jacobi.SingularValues(a)
+	QRHouseholder(a)
+	for j := 0; j < 7; j++ {
+		for i := j + 1; i < 12; i++ {
+			if a.At(i, j) != 0 {
+				t.Fatalf("below-diagonal not zeroed")
+			}
+		}
+	}
+	got := jacobi.SingularValues(a.View(0, 0, 7, 7))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("R spectrum off by %g", diff)
+	}
+}
+
+func TestChanSwitchBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Tall: must use preQR.
+	a := nla.RandomMatrix(rng, 30, 10)
+	want := jacobi.SingularValues(a)
+	d, e, used := ChanGE2BD(a.Clone())
+	if !used {
+		t.Fatalf("30x10 should trigger Chan's switch")
+	}
+	got, err := bdsqr.SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("Chan path off by %g", diff)
+	}
+	// Nearly square: must not.
+	b := nla.RandomMatrix(rng, 11, 10)
+	want = jacobi.SingularValues(b)
+	d, e, used = ChanGE2BD(b.Clone())
+	if used {
+		t.Fatalf("11x10 should not trigger the switch")
+	}
+	got, err = bdsqr.SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-12 {
+		t.Fatalf("plain path off by %g", diff)
+	}
+}
+
+func TestPaperFlops(t *testing.T) {
+	// Square: 8n³/3.
+	n := 300
+	want := 8.0 * float64(n) * float64(n) * float64(n) / 3
+	if got := PaperFlops(n, n); math.Abs(got-want) > 1 {
+		t.Fatalf("square flops wrong: %v vs %v", got, want)
+	}
+	// Monotone in m.
+	if PaperFlops(2000, 500) <= PaperFlops(1000, 500) {
+		t.Fatalf("flops must grow with m")
+	}
+}
+
+func TestModelsQualitativeShape(t *testing.T) {
+	mod := machine.Miriel()
+	m, n := 20000, 20000
+	sca1 := ScaLAPACKTime(mod, m, n, 1)
+	sca4 := ScaLAPACKTime(mod, m, n, 4)
+	if sca4 >= sca1 {
+		t.Fatalf("ScaLAPACK should scale at least somewhat")
+	}
+	// ScaLAPACK single-node rate should be memory-bound low (~50 GFlop/s).
+	rate := GFlops(PaperFlops(m, n), sca1)
+	if rate < 25 || rate > 110 {
+		t.Fatalf("ScaLAPACK single-node rate implausible: %v GF/s", rate)
+	}
+	// Elemental beats ScaLAPACK on tall-skinny thanks to Chan's switch.
+	el := ElementalTime(mod, 400000, 2000, 4)
+	sc := ScaLAPACKTime(mod, 400000, 2000, 4)
+	if el >= sc {
+		t.Fatalf("Elemental should win on tall-skinny: %v vs %v", el, sc)
+	}
+	// Elemental plateaus: efficiency at 25 nodes below 60%%.
+	e10 := ElementalTime(mod, 2000000, 2000, 10)
+	e25 := ElementalTime(mod, 2000000, 2000, 25)
+	speedup := e10 / e25
+	if speedup > 2.0 {
+		t.Fatalf("Elemental should plateau after 10 nodes, got %vx from 10→25", speedup)
+	}
+	// MKL: small matrices starved, large matrices respectable.
+	small := GFlops(PaperFlops(2000, 2000), MKLTime(mod, 2000, 2000, 160))
+	large := GFlops(PaperFlops(30000, 30000), MKLTime(mod, 30000, 30000, 160))
+	if small >= large {
+		t.Fatalf("MKL model should ramp up with size: %v vs %v", small, large)
+	}
+	if large < 150 || large > 600 {
+		t.Fatalf("MKL large-size rate implausible: %v", large)
+	}
+}
+
+func TestGFlops(t *testing.T) {
+	if GFlops(2e9, 2) != 1 {
+		t.Fatalf("GFlops wrong")
+	}
+	if !math.IsInf(GFlops(1, 0), 1) {
+		t.Fatalf("zero time should be +Inf")
+	}
+}

@@ -1,0 +1,114 @@
+// Package baseline implements the competitors the paper measures against.
+//
+// Two real algorithms — usable as numerical baselines at laptop scale:
+//
+//   - GEBD2: the classic one-stage Householder bidiagonalization
+//     (LAPACK xGEBD2), the algorithm class underlying ScaLAPACK's
+//     PxGEBRD and (pre-11.2) MKL.
+//   - ChanGE2BD: Chan's algorithm — QR factorization first, then
+//     bidiagonalization of the R factor — with the m ≥ 1.2n automatic
+//     switch used by Elemental.
+//
+// And calibrated performance models (models.go) that stand in for the
+// closed-source or cluster-scale library runs of Section VI; they are used
+// only by the figure-regeneration harness, never by the numerical tests.
+package baseline
+
+import (
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// GEBD2 reduces a dense m×n matrix (m ≥ n) to upper bidiagonal form with
+// one-stage Householder transformations, overwriting a. It returns the
+// diagonal d (length n) and superdiagonal e (length n−1). This is the
+// LAPACK xGEBD2 algorithm: every column/row pair touches the whole
+// trailing submatrix, which is what makes the one-stage approach memory
+// bound (50% of the flops are Level-2 BLAS).
+func GEBD2(a *nla.Matrix) (d, e []float64) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("baseline: GEBD2 requires m ≥ n")
+	}
+	d = make([]float64, n)
+	e = make([]float64, max(n-1, 0))
+	col := make([]float64, m)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Left reflector annihilating column i below the diagonal.
+		for r := i; r < m; r++ {
+			col[r-i] = a.At(r, i)
+		}
+		beta, tau := nla.Larfg(col[0], col[1:m-i])
+		d[i] = beta
+		a.Set(i, i, beta)
+		if tau != 0 && i+1 < n {
+			trailing := a.View(i, i+1, m-i, n-i-1)
+			nla.ApplyReflectorLeft(tau, col[1:m-i], trailing)
+		}
+		for r := i + 1; r < m; r++ {
+			a.Set(r, i, 0)
+		}
+
+		if i < n-1 {
+			// Right reflector annihilating row i right of the
+			// superdiagonal.
+			for c := i + 1; c < n; c++ {
+				row[c-i-1] = a.At(i, c)
+			}
+			beta, tau := nla.Larfg(row[0], row[1:n-i-1])
+			e[i] = beta
+			a.Set(i, i+1, beta)
+			if tau != 0 {
+				trailing := a.View(i+1, i+1, m-i-1, n-i-1)
+				nla.ApplyReflectorRight(tau, row[1:n-i-1], trailing)
+			}
+			for c := i + 2; c < n; c++ {
+				a.Set(i, c, 0)
+			}
+		}
+	}
+	return d, e
+}
+
+// QRHouseholder overwrites a (m ≥ n) with its R factor (upper triangle)
+// using plain Householder QR; the strictly lower part is zeroed.
+func QRHouseholder(a *nla.Matrix) {
+	m, n := a.Rows, a.Cols
+	col := make([]float64, m)
+	for j := 0; j < n; j++ {
+		for r := j; r < m; r++ {
+			col[r-j] = a.At(r, j)
+		}
+		beta, tau := nla.Larfg(col[0], col[1:m-j])
+		a.Set(j, j, beta)
+		if tau != 0 && j+1 < n {
+			trailing := a.View(j, j+1, m-j, n-j-1)
+			nla.ApplyReflectorLeft(tau, col[1:m-j], trailing)
+		}
+		for r := j + 1; r < m; r++ {
+			a.Set(r, j, 0)
+		}
+	}
+}
+
+// ChanSwitchRatio is the automatic-switch threshold used by Elemental:
+// pre-process with a QR factorization when m ≥ 1.2·n.
+const ChanSwitchRatio = 1.2
+
+// ChanGE2BD bidiagonalizes a (m ≥ n) following Chan's algorithm when the
+// aspect ratio exceeds ChanSwitchRatio, falling back to plain GEBD2
+// otherwise. It returns the bidiagonal factors and whether preQR was used.
+func ChanGE2BD(a *nla.Matrix) (d, e []float64, usedQR bool) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("baseline: ChanGE2BD requires m ≥ n")
+	}
+	if float64(m) < ChanSwitchRatio*float64(n) {
+		d, e = GEBD2(a)
+		return d, e, false
+	}
+	QRHouseholder(a)
+	r := a.View(0, 0, n, n).Clone()
+	d, e = GEBD2(r)
+	return d, e, true
+}

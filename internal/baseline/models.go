@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/tiled-la/bidiag/internal/machine"
+)
+
+// PaperFlops is the operation count the paper uses to report GFlop/s for
+// both GE2BND and GE2VAL (the standard one-stage bidiagonalization count
+// of the LAPACK installation guide): 4n²(m − n/3). The same count is used
+// for R-BIDIAG runs, "we do not assess the absolute performance of
+// R-BIDIAG, instead we provide a direct comparison with BIDIAG."
+func PaperFlops(m, n int) float64 {
+	fm, fn := float64(m), float64(n)
+	return 4 * fn * fn * (fm - fn/3)
+}
+
+// The models below stand in for library runs that need hardware we
+// simulate (25-node InfiniBand cluster) or software we cannot run
+// (closed-source MKL). Each model is calibrated against the qualitative
+// behaviour the paper reports and states its assumptions in comments. They
+// produce *times in seconds* for the GE2VAL problem (singular values
+// only).
+
+// parEff is a simple strong-scaling efficiency: η(N) = 1/(1 + α(N−1)).
+func parEff(nodes int, alpha float64) float64 {
+	return 1 / (1 + alpha*float64(nodes-1))
+}
+
+// ScaLAPACKTime models PxGEBRD + bidiagonal QR: the one-stage algorithm
+// interleaves memory-bound BLAS-2 panels (half the flops) with BLAS-3
+// updates (the other half). The BLAS-2 half runs at the node's memory
+// bound rate, which is why the paper measures it at ~50 GFlop/s on a full
+// node regardless of core count.
+func ScaLAPACKTime(mod machine.Model, m, n, nodes int) float64 {
+	f := PaperFlops(m, n)
+	eta := parEff(nodes, 0.10)
+	l2 := 26e9 * float64(nodes) * eta // memory-bound half
+	l3 := 0.65 * mod.PeakPerCore * float64(mod.CoresPerNode) * float64(nodes) * eta
+	return f/2/l2 + f/2/l3 + mod.BD2VALTime(n)
+}
+
+// ElementalTime models Elemental's GE2VAL: the same one-stage reduction,
+// but switching to Chan's algorithm when m ≥ 1.2n, which moves most flops
+// into the compute-bound QR factorization. The paper observes it scales
+// better than ScaLAPACK on tall-skinny problems yet plateaus after ~10
+// nodes, modeled by the stronger efficiency decay beyond that point.
+func ElementalTime(mod machine.Model, m, n, nodes int) float64 {
+	eta := parEff(nodes, 0.06)
+	if nodes > 10 {
+		eta *= 1 / (1 + 0.15*float64(nodes-10))
+	}
+	l2 := 26e9 * float64(nodes) * eta
+	l3 := 0.60 * mod.PeakPerCore * float64(mod.CoresPerNode) * float64(nodes) * eta
+	if float64(m) >= ChanSwitchRatio*float64(n) {
+		qrFlops := 2 * float64(n) * float64(n) * (float64(m) - float64(n)/3)
+		f := PaperFlops(n, n)
+		return qrFlops/l3 + f/2/l2 + f/2/l3 + mod.BD2VALTime(n)
+	}
+	f := PaperFlops(m, n)
+	return f/2/l2 + f/2/l3 + mod.BD2VALTime(n)
+}
+
+// MKLTime models the post-11.2 multi-threaded MKL GE2VAL, which moved to a
+// multi-stage algorithm (single node only). Its first stage runs near
+// DGEMM speed but with less aggressive runtime scheduling than a
+// task-based runtime on small problems — the paper finds MKL slower than
+// DPLASMA on small sizes and competitive at large square sizes.
+func MKLTime(mod machine.Model, m, n, nb int) float64 {
+	f := PaperFlops(m, n)
+	rate := 0.52 * mod.PeakPerCore * float64(mod.CoresPerNode)
+	// Parallelism starvation on small problems: ramp-up factor.
+	small := 1 + 4e7/(float64(m)*float64(n)+1)
+	return f/rate*small + mod.BND2BDTime(n, nb) + mod.BD2VALTime(n)
+}
+
+// Competitor names used by the benchmark harness.
+const (
+	CompScaLAPACK = "ScaLAPACK"
+	CompElemental = "Elemental"
+	CompMKL       = "MKL"
+	CompPLASMA    = "PLASMA"
+	CompDPLASMA   = "DPLASMA(this work)"
+)
+
+// GFlops converts a (flops, seconds) pair to GFlop/s.
+func GFlops(flops, seconds float64) float64 {
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return flops / seconds / 1e9
+}

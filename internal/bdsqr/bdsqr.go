@@ -1,0 +1,313 @@
+// Package bdsqr implements the BD2VAL stage: singular values of a real
+// upper-bidiagonal matrix by the implicit QR iteration of Demmel and
+// Kahan, as in LAPACK xBDSQR (values-only path). It combines shifted
+// forward sweeps with the zero-shift sweep that guarantees high relative
+// accuracy when the shift would be negligible.
+package bdsqr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const eps = 0x1p-52
+
+// SingularValues returns the singular values of the n×n upper-bidiagonal
+// matrix with diagonal d (length n) and superdiagonal e (length n−1), in
+// descending order. The inputs are not modified.
+func SingularValues(d, e []float64) ([]float64, error) {
+	n := len(d)
+	if len(e) != max(n-1, 0) {
+		return nil, fmt.Errorf("bdsqr: len(e) = %d, want %d", len(e), max(n-1, 0))
+	}
+	dd := append([]float64(nil), d...)
+	ee := append([]float64(nil), e...)
+	if err := compute(dd, ee); err != nil {
+		return nil, err
+	}
+	for i := range dd {
+		dd[i] = math.Abs(dd[i])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dd)))
+	return dd, nil
+}
+
+// compute reduces (d, e) until every superdiagonal entry is negligible.
+func compute(d, e []float64) error {
+	n := len(d)
+	if n <= 1 {
+		return nil
+	}
+	smax := 0.0
+	for _, v := range d {
+		smax = math.Max(smax, math.Abs(v))
+	}
+	for _, v := range e {
+		smax = math.Max(smax, math.Abs(v))
+	}
+	if smax == 0 {
+		return nil
+	}
+	tol := eps * 100
+	thresh := tol * smax
+	maxit := 12 * n * n
+
+	m := n - 1 // active block is d[0..m], e[0..m-1] after deflation from the bottom
+	for iter := 0; iter < maxit; iter++ {
+		// Deflate negligible superdiagonals at the bottom.
+		for m > 0 && math.Abs(e[m-1]) <= thresh {
+			e[m-1] = 0
+			m--
+		}
+		if m == 0 {
+			return nil
+		}
+		// Find the start of the unreduced block ending at m.
+		lo := m - 1
+		for lo > 0 && math.Abs(e[lo-1]) > thresh {
+			lo--
+		}
+		if lo > 0 {
+			// Nothing: block is d[lo..m].
+		}
+
+		// Handle a zero diagonal inside the block: the matrix is singular
+		// and the zero can be deflated by rotating e away. Rotate the zero
+		// to annihilate its superdiagonal, which splits the block.
+		zeroed := false
+		for i := lo; i <= m; i++ {
+			if d[i] == 0 || math.Abs(d[i]) <= thresh*tol {
+				d[i] = 0
+				if i < m {
+					rotateZeroDiagonalDown(d, e, i, m)
+				} else {
+					rotateZeroDiagonalUp(d, e, lo, m)
+				}
+				zeroed = true
+				break
+			}
+		}
+		if zeroed {
+			continue
+		}
+
+		// Choose the sweep direction like dbdsqr: chase bulges from the
+		// larger end toward the smaller so graded matrices converge from
+		// the right side.
+		forward := math.Abs(d[lo]) >= math.Abs(d[m])
+
+		// Estimate the smallest singular value of the block to choose
+		// between a shifted and a zero-shift sweep.
+		var sminl, mu float64
+		if forward {
+			sminl = math.Abs(d[lo])
+			mu = sminl
+			for i := lo; i < m && sminl > 0; i++ {
+				mu = math.Abs(d[i+1]) * (mu / (mu + math.Abs(e[i])))
+				sminl = math.Min(sminl, mu)
+			}
+		} else {
+			sminl = math.Abs(d[m])
+			mu = sminl
+			for i := m - 1; i >= lo && sminl > 0; i-- {
+				mu = math.Abs(d[i]) * (mu / (mu + math.Abs(e[i])))
+				sminl = math.Min(sminl, mu)
+			}
+		}
+		var shift float64
+		smaxBlk := 0.0
+		for i := lo; i <= m; i++ {
+			smaxBlk = math.Max(smaxBlk, math.Abs(d[i]))
+			if i < m {
+				smaxBlk = math.Max(smaxBlk, math.Abs(e[i]))
+			}
+		}
+		if smaxBlk > 0 && sminl/smaxBlk >= math.Sqrt(eps) {
+			// Relative gaps are healthy: a shift will not hurt accuracy.
+			// Take it from the 2×2 at the far end of the sweep.
+			if forward {
+				shift, _ = las2(d[m-1], e[m-1], d[m])
+			} else {
+				shift, _ = las2(d[lo], e[lo], d[lo+1])
+			}
+			anchor := d[lo]
+			if !forward {
+				anchor = d[m]
+			}
+			if ratio := shift / math.Abs(anchor); ratio*ratio < eps {
+				shift = 0
+			}
+		}
+		switch {
+		case shift == 0 && forward:
+			zeroShiftSweep(d, e, lo, m)
+		case shift == 0:
+			zeroShiftSweepBackward(d, e, lo, m)
+		case forward:
+			shiftedSweep(d, e, lo, m, shift)
+		default:
+			shiftedSweepBackward(d, e, lo, m, shift)
+		}
+	}
+	return fmt.Errorf("bdsqr: QR iteration did not converge")
+}
+
+// rotateZeroDiagonalDown annihilates e[i] when d[i] == 0 by a sequence of
+// left rotations pushing the entry down and out (dbdsqr's zero-diagonal
+// handling, forward direction).
+func rotateZeroDiagonalDown(d, e []float64, i, m int) {
+	f := e[i]
+	e[i] = 0
+	for j := i + 1; j <= m; j++ {
+		c, s, _ := lartg(d[j], f)
+		d[j] = c*d[j] + s*f
+		if j < m {
+			f = -s * e[j]
+			e[j] = c * e[j]
+		}
+		_ = c
+	}
+}
+
+// rotateZeroDiagonalUp annihilates e[m−1] when d[m] == 0 by right
+// rotations pushing the entry up and out.
+func rotateZeroDiagonalUp(d, e []float64, lo, m int) {
+	f := e[m-1]
+	e[m-1] = 0
+	for j := m - 1; j >= lo; j-- {
+		c, s, _ := lartg(d[j], f)
+		d[j] = c*d[j] + s*f
+		if j > lo {
+			f = -s * e[j-1]
+			e[j-1] = c * e[j-1]
+		}
+	}
+}
+
+// zeroShiftSweep is the Demmel–Kahan implicit zero-shift QR sweep on the
+// block d[lo..m], e[lo..m−1] (LAPACK dbdsqr, forward direction).
+func zeroShiftSweep(d, e []float64, lo, m int) {
+	cs, oldcs := 1.0, 1.0
+	var sn, oldsn, r float64
+	for i := lo; i < m; i++ {
+		cs, sn, r = lartg(d[i]*cs, e[i])
+		if i > lo {
+			e[i-1] = oldsn * r
+		}
+		oldcs, oldsn, d[i] = lartg(oldcs*r, d[i+1]*sn)
+	}
+	h := d[m] * cs
+	d[m] = h * oldcs
+	e[m-1] = h * oldsn
+}
+
+// shiftedSweep is the standard implicitly shifted QR sweep (LAPACK dbdsqr,
+// forward direction).
+func shiftedSweep(d, e []float64, lo, m int, shift float64) {
+	f := (math.Abs(d[lo]) - shift) * (math.Copysign(1, d[lo]) + shift/d[lo])
+	g := e[lo]
+	for i := lo; i < m; i++ {
+		cosr, sinr, r := lartg(f, g)
+		if i > lo {
+			e[i-1] = r
+		}
+		f = cosr*d[i] + sinr*e[i]
+		e[i] = cosr*e[i] - sinr*d[i]
+		g = sinr * d[i+1]
+		d[i+1] = cosr * d[i+1]
+		cosl, sinl, r2 := lartg(f, g)
+		d[i] = r2
+		f = cosl*e[i] + sinl*d[i+1]
+		d[i+1] = cosl*d[i+1] - sinl*e[i]
+		if i < m-1 {
+			g = sinl * e[i+1]
+			e[i+1] = cosl * e[i+1]
+		}
+	}
+	e[m-1] = f
+}
+
+// zeroShiftSweepBackward is the Demmel–Kahan zero-shift sweep chasing from
+// the bottom of the block to the top (LAPACK dbdsqr, backward direction).
+func zeroShiftSweepBackward(d, e []float64, lo, m int) {
+	cs, oldcs := 1.0, 1.0
+	var sn, oldsn, r float64
+	for i := m; i > lo; i-- {
+		cs, sn, r = lartg(d[i]*cs, e[i-1])
+		if i < m {
+			e[i] = oldsn * r
+		}
+		oldcs, oldsn, d[i] = lartg(oldcs*r, d[i-1]*sn)
+	}
+	h := d[lo] * cs
+	d[lo] = h * oldcs
+	e[lo] = h * oldsn
+}
+
+// shiftedSweepBackward is the implicitly shifted QR sweep in the backward
+// direction (LAPACK dbdsqr).
+func shiftedSweepBackward(d, e []float64, lo, m int, shift float64) {
+	f := (math.Abs(d[m]) - shift) * (math.Copysign(1, d[m]) + shift/d[m])
+	g := e[m-1]
+	for i := m; i > lo; i-- {
+		cosr, sinr, r := lartg(f, g)
+		if i < m {
+			e[i] = r
+		}
+		f = cosr*d[i] + sinr*e[i-1]
+		e[i-1] = cosr*e[i-1] - sinr*d[i]
+		g = sinr * d[i-1]
+		d[i-1] = cosr * d[i-1]
+		cosl, sinl, r2 := lartg(f, g)
+		d[i] = r2
+		f = cosl*e[i-1] + sinl*d[i-1]
+		d[i-1] = cosl*d[i-1] - sinl*e[i-1]
+		if i > lo+1 {
+			g = sinl * e[i-2]
+			e[i-2] = cosl * e[i-2]
+		}
+	}
+	e[lo] = f
+}
+
+// lartg computes c, s, r with c·f + s·g = r and −s·f + c·g = 0.
+func lartg(f, g float64) (c, s, r float64) {
+	if g == 0 {
+		return 1, 0, f
+	}
+	if f == 0 {
+		return 0, 1, g
+	}
+	r = math.Copysign(math.Hypot(f, g), f)
+	return f / r, g / r, r
+}
+
+// las2 returns the singular values (min, max) of the 2×2 upper-triangular
+// matrix [[f, g], [0, h]] (LAPACK dlas2).
+func las2(f, g, h float64) (ssmin, ssmax float64) {
+	fa, ga, ha := math.Abs(f), math.Abs(g), math.Abs(h)
+	fhmn, fhmx := math.Min(fa, ha), math.Max(fa, ha)
+	if fhmn == 0 {
+		if fhmx == 0 {
+			return 0, ga
+		}
+		t := math.Min(fhmx, ga) / math.Max(fhmx, ga)
+		return 0, math.Max(fhmx, ga) * math.Sqrt(1+t*t)
+	}
+	if ga < fhmx {
+		as := 1 + fhmn/fhmx
+		at := (fhmx - fhmn) / fhmx
+		au := (ga / fhmx) * (ga / fhmx)
+		c := 2 / (math.Sqrt(as*as+au) + math.Sqrt(at*at+au))
+		return fhmn * c, fhmx / c
+	}
+	au := fhmx / ga
+	if au == 0 {
+		return fhmn * fhmx / ga, ga
+	}
+	as := 1 + fhmn/fhmx
+	at := (fhmx - fhmn) / fhmx
+	c := 1 / (math.Sqrt(1+(as*au)*(as*au)) + math.Sqrt(1+(at*au)*(at*au)))
+	return 2 * (fhmn * c) * au, ga / (c + c)
+}

@@ -1,0 +1,278 @@
+package bdsqr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+func bidiagDense(d, e []float64) *nla.Matrix {
+	n := len(d)
+	m := nla.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, d[i])
+		if i < n-1 {
+			m.Set(i, i+1, e[i])
+		}
+	}
+	return m
+}
+
+func TestDiagonalOnly(t *testing.T) {
+	d := []float64{3, -1, 4, 1.5}
+	e := []float64{0, 0, 0}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 3, 1.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTinyMatrices(t *testing.T) {
+	if sv, err := SingularValues([]float64{-5}, nil); err != nil || sv[0] != 5 {
+		t.Fatalf("1x1 wrong: %v %v", sv, err)
+	}
+	if sv, err := SingularValues(nil, nil); err != nil || len(sv) != 0 {
+		t.Fatalf("empty wrong")
+	}
+	// 2x2 against the dlas2 closed form.
+	d := []float64{2, -0.5}
+	e := []float64{1.25}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, mx := las2(d[0], e[0], d[1])
+	if math.Abs(got[0]-mx) > 1e-14*mx || math.Abs(got[1]-mn) > 1e-14*mx {
+		t.Fatalf("2x2 mismatch: %v vs (%v, %v)", got, mx, mn)
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	if _, err := SingularValues([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatalf("expected length error")
+	}
+}
+
+func TestAgainstJacobiRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 3, 5, 10, 25, 60, 150} {
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		got, err := SingularValues(d, e)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := jacobi.SingularValues(bidiagDense(d, e))
+		if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+			t.Errorf("n=%d: off by %g", n, diff)
+		}
+	}
+}
+
+func TestGradedMatrix(t *testing.T) {
+	// Strongly graded bidiagonal: relative accuracy matters here.
+	n := 20
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = math.Pow(10, -float64(i)/2)
+	}
+	for i := range e {
+		e[i] = d[i] * 0.5
+	}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(bidiagDense(d, e))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+		t.Fatalf("graded off by %g", diff)
+	}
+}
+
+func TestZeroDiagonalEntry(t *testing.T) {
+	// An exact zero on the diagonal forces the splitting path.
+	d := []float64{1, 0, 2, 3}
+	e := []float64{0.5, 0.7, 0.9}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(bidiagDense(d, e))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+		t.Fatalf("zero-diag case off by %g: got %v want %v", diff, got, want)
+	}
+}
+
+func TestZeroLastDiagonal(t *testing.T) {
+	d := []float64{1, 2, 0}
+	e := []float64{0.5, 0.7}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(bidiagDense(d, e))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+		t.Fatalf("zero-last-diag off by %g", diff)
+	}
+	if got[2] > 1e-14 {
+		t.Fatalf("matrix is singular; smallest σ should be 0, got %v", got[2])
+	}
+}
+
+func TestAllZero(t *testing.T) {
+	got, err := SingularValues(make([]float64, 5), make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("zero matrix should have zero spectrum")
+		}
+	}
+}
+
+func TestClusteredValues(t *testing.T) {
+	// Nearly equal singular values.
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 1 + 1e-10*float64(i)
+	}
+	for i := range e {
+		e[i] = 1e-12
+	}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-1) > 2e-9 {
+			t.Fatalf("clustered spectrum distorted: %v", got)
+		}
+	}
+}
+
+func TestInputsNotModified(t *testing.T) {
+	d := []float64{1, 2, 3}
+	e := []float64{0.1, 0.2}
+	d0 := append([]float64(nil), d...)
+	e0 := append([]float64(nil), e...)
+	if _, err := SingularValues(d, e); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i] != d0[i] {
+			t.Fatalf("d modified")
+		}
+	}
+	for i := range e {
+		if e[i] != e0[i] {
+			t.Fatalf("e modified")
+		}
+	}
+}
+
+func TestFrobeniusInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		var ssq float64
+		for i := range d {
+			d[i] = rng.NormFloat64()
+			ssq += d[i] * d[i]
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+			ssq += e[i] * e[i]
+		}
+		sv, err := SingularValues(d, e)
+		if err != nil {
+			return false
+		}
+		var got float64
+		for _, v := range sv {
+			got += v * v
+		}
+		return math.Abs(got-ssq) <= 1e-10*math.Max(1, ssq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLas2KnownValues(t *testing.T) {
+	mn, mx := las2(3, 0, 4)
+	if mn != 3 || mx != 4 {
+		t.Fatalf("diagonal 2x2 wrong: %v %v", mn, mx)
+	}
+	mn, mx = las2(0, 5, 0)
+	if mn != 0 || mx != 5 {
+		t.Fatalf("pure g wrong: %v %v", mn, mx)
+	}
+}
+
+func TestGradedUpward(t *testing.T) {
+	// Graded in the increasing direction: exercises the backward sweeps
+	// (|d[lo]| < |d[m]| selects them, as in LAPACK).
+	n := 25
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = math.Pow(10, float64(i)/3-3)
+	}
+	for i := range e {
+		e[i] = d[i+1] * 0.4
+	}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(bidiagDense(d, e))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+		t.Fatalf("upward-graded off by %g", diff)
+	}
+}
+
+func TestAlternatingSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 40
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+		if i%2 == 0 {
+			d[i] = -d[i]
+		}
+	}
+	for i := range e {
+		e[i] = -rng.Float64()
+	}
+	got, err := SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobi.SingularValues(bidiagDense(d, e))
+	if diff := jacobi.MaxRelDiff(got, want); diff > 1e-13 {
+		t.Fatalf("signed bidiagonal off by %g", diff)
+	}
+}

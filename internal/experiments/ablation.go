@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"github.com/tiled-la/bidiag/internal/baseline"
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/critpath"
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// AblationDeps quantifies the sub-tile dependency regions (DESIGN.md):
+// with whole-tile dependencies, trailing updates that only read the
+// reflector region falsely serialize against the next panel operation,
+// and the measured critical paths inflate beyond the Section IV formulas.
+func AblationDeps(sc Scale) *Table {
+	shapes := [][2]int{{8, 8}, {16, 8}, {32, 16}, {64, 16}}
+	if sc.Small {
+		shapes = [][2]int{{8, 8}, {16, 8}}
+	}
+	t := &Table{
+		Name:    "ablation-deps",
+		Caption: "Why region-level dependencies matter: BIDIAG critical path with sub-tile regions (== paper formula) vs whole-tile dependencies",
+		Header:  []string{"p", "q", "tree", "formula", "region CP", "coarse CP", "inflation"},
+	}
+	for _, sh := range shapes {
+		p, q := sh[0], sh[1]
+		for _, tr := range []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy} {
+			formula := critpath.BidiagFormula(tr, p, q)
+			fine := measureCP(tr, p, q, false)
+			coarse := measureCP(tr, p, q, true)
+			t.Rows = append(t.Rows, []string{
+				f0(float64(p)), f0(float64(q)), tr.String(),
+				f0(formula), f0(fine), f0(coarse),
+				f2(coarse / fine),
+			})
+		}
+	}
+	return t
+}
+
+func measureCP(tr trees.Kind, p, q int, coarse bool) float64 {
+	g := sched.NewGraph()
+	core.BuildBidiag(g, core.ShapeOf(p, q, 1), nil, core.Config{Tree: tr, Cores: 24, CoarseDeps: coarse})
+	return g.CriticalPath(sched.WeightTime)
+}
+
+// AblationNB reproduces the tile-size trade-off discussed in Section VI.B:
+// larger tiles raise kernel efficiency and shrink the DAG, but the
+// BND2BD flops grow linearly with NB, so the full GE2VAL pipeline has an
+// interior optimum (the paper tunes NB = 160 for its platform).
+func AblationNB(sc Scale) *Table {
+	mod := machine.Miriel()
+	m := 20000
+	nbs := []int{80, 120, 160, 240, 320, 480}
+	if sc.Small {
+		m = 2560
+		nbs = []int{32, 64, 128}
+	}
+	cores := mod.CoresPerNode - 1
+	t := &Table{
+		Name:    "ablation-nb",
+		Caption: "Tile-size trade-off on a square matrix (AUTO tree): GE2BND improves with NB until parallelism starves, while BND2BD cost grows with NB",
+		Header:  []string{"NB", "GE2BND (s)", "BND2BD (s)", "BD2VAL (s)", "GE2VAL (s)", "GE2VAL GFlop/s"},
+	}
+	flops := baseline.PaperFlops(m, m)
+	for _, nb := range nbs {
+		sh := core.ShapeOf(m, m, nb)
+		g := sched.NewGraph()
+		core.BuildBidiag(g, sh, nil, core.Config{Tree: trees.Auto, Gamma: 2, Cores: cores})
+		ge2bnd := g.SimulateFixed(cores, mod.TimeOfNB(nb)).Makespan
+		bnd2bd := mod.BND2BDTime(m, nb)
+		bd2val := mod.BD2VALTime(m)
+		total := ge2bnd + bnd2bd + bd2val
+		t.Rows = append(t.Rows, []string{
+			f0(float64(nb)), f2(ge2bnd), f2(bnd2bd), f2(bd2val), f2(total),
+			f1(baseline.GFlops(flops, total)),
+		})
+	}
+	return t
+}
+
+// AblationGamma sweeps the AUTO tree's parallelism target γ (the paper
+// fixes γ = 2): γ too small starves the cores, γ too large gives up the
+// TS-kernel efficiency that motivates AUTO.
+func AblationGamma(sc Scale) *Table {
+	mod := machine.Miriel()
+	m, n, nb := 10000, 10000, 160
+	if sc.Small {
+		m, n, nb = 1920, 1920, 64
+	}
+	cores := mod.CoresPerNode - 1
+	t := &Table{
+		Name:    "ablation-gamma",
+		Caption: "AUTO tree γ sweep (γ·cores target ready tasks per step); the paper uses γ = 2",
+		Header:  []string{"gamma", "GE2BND (s)", "GFlop/s"},
+	}
+	flops := baseline.PaperFlops(m, n)
+	for _, gamma := range []int{1, 2, 4, 8} {
+		sh := core.ShapeOf(m, n, nb)
+		g := sched.NewGraph()
+		core.BuildBidiag(g, sh, nil, core.Config{Tree: trees.Auto, Gamma: gamma, Cores: cores})
+		secs := g.SimulateFixed(cores, mod.TimeOf).Makespan
+		t.Rows = append(t.Rows, []string{
+			f0(float64(gamma)), f2(secs), f1(baseline.GFlops(flops, secs)),
+		})
+	}
+	return t
+}
+
+// AblationHighTree crosses the high-level distributed tree and the domino
+// option on square and tall-skinny shapes, showing the paper's defaults
+// (flat without domino for p ≥ 2q, Fibonacci with domino otherwise) are
+// the right corners of the design space.
+func AblationHighTree(sc Scale) *Table {
+	mod := machine.Miriel()
+	type shape struct {
+		name    string
+		m, n    int
+		nb      int
+		nodes   int
+		rbidiag bool
+	}
+	shapes := []shape{
+		{"square", 20000, 20000, 160, 9, false},
+		{"tallskinny", 640000, 2000, 160, 8, true},
+	}
+	if sc.Small {
+		shapes = []shape{
+			{"square", 1920, 1920, 64, 4, false},
+			{"tallskinny", 16384, 512, 64, 4, true},
+		}
+	}
+	t := &Table{
+		Name:    "ablation-hightree",
+		Caption: "High-level distributed tree × domino ablation (AUTO local level): GFlop/s and inter-node volume",
+		Header:  []string{"shape", "high tree", "domino", "GFlop/s", "comm (GB)"},
+	}
+	for _, s := range shapes {
+		sh := core.ShapeOf(s.m, s.n, s.nb)
+		var grid dist.Grid
+		if s.rbidiag {
+			grid = dist.TallSkinnyGrid(s.nodes)
+		} else {
+			grid = dist.SquareGrid(s.nodes)
+		}
+		flops := baseline.PaperFlops(s.m, s.n)
+		for _, high := range []trees.Kind{trees.FlatTT, trees.Fibonacci, trees.Greedy} {
+			for _, domino := range []bool{false, true} {
+				tc := dist.AutoDefaults(sh, grid, mod.CoresPerNode)
+				tc.High = high
+				tc.Domino = domino
+				g := sched.NewGraph()
+				if s.rbidiag {
+					core.BuildRBidiag(g, sh, nil, tc.Configure())
+				} else {
+					core.BuildBidiag(g, sh, nil, tc.Configure())
+				}
+				res := g.SimulateDistributed(mod.DistConfig(s.nodes, !s.rbidiag))
+				dom := "off"
+				if domino {
+					dom = "on"
+				}
+				t.Rows = append(t.Rows, []string{
+					s.name, high.String(), dom,
+					f1(baseline.GFlops(flops, res.Makespan)),
+					f2(res.CommVolume / 1e9),
+				})
+			}
+		}
+	}
+	return t
+}

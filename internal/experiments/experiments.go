@@ -1,0 +1,165 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) plus the analytical artifacts of Section IV.
+// Each experiment returns a Table that the bidiagbench command renders as
+// CSV and aligned text.
+//
+// Performance figures run in virtual time: the same task graphs the real
+// executor runs are replayed through the event-driven simulators under the
+// calibrated machine model of internal/machine (the paper's miriel
+// platform). Absolute GFlop/s therefore depend on the calibration; the
+// claims under test are the relative ones — who wins, where the curves
+// cross, how they scale.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Name    string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Text renders the table with aligned columns for terminal output.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.Name, t.Caption)
+	for i, h := range t.Header {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Scale shrinks the experiments for quick runs (unit tests, testing.B).
+type Scale struct {
+	// Small replaces the paper-size sweeps with laptop-size ones.
+	Small bool
+}
+
+// treeSet is the four shared-memory trees of Section VI.
+var treeSet = []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy, trees.Auto}
+
+func treeName(k trees.Kind) string { return k.String() }
+
+// simShared builds the GE2BND DAG (simulation-only) and replays it on one
+// node with `cores` workers under the machine model, returning seconds.
+func simShared(mod machine.Model, m, n, nb int, tree trees.Kind, rbidiag bool, cores int) float64 {
+	sh := core.ShapeOf(m, n, nb)
+	cfg := core.Config{Tree: tree, Gamma: 2, Cores: cores}
+	g := sched.NewGraph()
+	if rbidiag {
+		core.BuildRBidiag(g, sh, nil, cfg)
+	} else {
+		core.BuildBidiag(g, sh, nil, cfg)
+	}
+	res := g.SimulateFixed(cores, mod.TimeOf)
+	return res.Makespan
+}
+
+// simDistributed builds the GE2BND DAG with hierarchical trees over the
+// grid and replays it on the multi-node simulator, returning seconds and
+// the raw result.
+func simDistributed(mod machine.Model, m, n, nb int, tree trees.Kind, rbidiag bool, nodes int, reserveCore bool) sched.DistResult {
+	sh := core.ShapeOf(m, n, nb)
+	var grid dist.Grid
+	if m >= 2*n {
+		grid = dist.TallSkinnyGrid(nodes)
+	} else {
+		grid = dist.SquareGrid(nodes)
+	}
+	workers := mod.CoresPerNode
+	if reserveCore && workers > 1 {
+		workers--
+	}
+	tc := dist.Defaults(sh, grid, workers)
+	switch tree {
+	case trees.Auto:
+		tc.LocalAuto = true
+		tc.High = treeHighFor(tree, sh)
+	case trees.FlatTS:
+		tc.LocalA = 1 << 30 // one big TS group per node
+		tc.High = trees.FlatTT
+	case trees.FlatTT:
+		tc.LocalA = 1
+		tc.High = trees.FlatTT
+	case trees.Greedy:
+		tc.LocalA = 1
+		tc.High = trees.Greedy
+		tc.Domino = false
+	}
+	cfg := tc.Configure()
+	g := sched.NewGraph()
+	if rbidiag {
+		core.BuildRBidiag(g, sh, nil, cfg)
+	} else {
+		core.BuildBidiag(g, sh, nil, cfg)
+	}
+	dc := mod.DistConfig(nodes, reserveCore)
+	return g.SimulateDistributed(dc)
+}
+
+// treeHighFor returns the paper's default high-level tree for a shape.
+func treeHighFor(_ trees.Kind, sh core.Shape) trees.Kind {
+	if sh.P >= 2*sh.Q {
+		return trees.FlatTT
+	}
+	return trees.Fibonacci
+}
+
+// ge2valShared adds the shared-memory BND2BD and BD2VAL stages to a
+// GE2BND time, following the paper's pipeline (no overlap between the
+// DPLASMA stage and the PLASMA band reduction: "we cannot pipeline the
+// GE2BND and BND2BD steps").
+func ge2valShared(mod machine.Model, ge2bnd float64, n, nb int) float64 {
+	return ge2bnd + mod.BND2BDTime(n, nb) + mod.BD2VALTime(n)
+}
+
+// ge2valDistributed adds the band gather plus the single-node band stages
+// (the paper's known scalability limitation).
+func ge2valDistributed(mod machine.Model, ge2bnd float64, n, nb, nodes int) float64 {
+	return ge2bnd + mod.GatherBandTime(n, nb, nodes) + mod.BND2BDTime(n, nb) + mod.BD2VALTime(n)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"github.com/tiled-la/bidiag/internal/baseline"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// nbDefault is the paper's tuned tile size.
+const nbDefault = 160
+
+// Fig2a: shared-memory GE2BND GFlop/s on square matrices (M = N,
+// NB = 160), BIDIAG with the four trees, one 24-core node (23 compute
+// cores on square cases, as in the paper).
+func Fig2a(sc Scale) *Table {
+	mod := machine.Miriel()
+	sizes := []int{2000, 5000, 10000, 15000, 20000, 25000, 30000}
+	nb := nbDefault
+	cores := mod.CoresPerNode - 1
+	if sc.Small {
+		sizes = []int{640, 1280, 2560, 3840}
+		nb = 64
+	}
+	t := &Table{
+		Name:    "fig2a",
+		Caption: "GE2BND GFlop/s, square M=N, shared memory (simulated miriel node)",
+		Header:  []string{"M=N", "BiDiagFlatTS", "BiDiagFlatTT", "BiDiagGreedy", "BiDiagAuto"},
+	}
+	for _, n := range sizes {
+		row := []string{f0(float64(n))}
+		flops := baseline.PaperFlops(n, n)
+		for _, tr := range []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy, trees.Auto} {
+			secs := simShared(mod, n, n, nb, tr, false, cores)
+			row = append(row, f1(baseline.GFlops(flops, secs)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig2TS is the common harness of Fig 2b/2c: tall-skinny GE2BND with both
+// BIDIAG and R-BIDIAG across the four trees.
+func fig2TS(name string, n, nb int, ms []int, sc Scale) *Table {
+	mod := machine.Miriel()
+	cores := mod.CoresPerNode
+	t := &Table{
+		Name:    name,
+		Caption: "GE2BND GFlop/s, tall-skinny N=" + f0(float64(n)) + " (simulated miriel node); BiDiag vs R-BiDiag",
+		Header:  []string{"M"},
+	}
+	for _, tr := range treeSet {
+		t.Header = append(t.Header, "BiDiag"+treeName(tr))
+	}
+	for _, tr := range treeSet {
+		t.Header = append(t.Header, "R-BiDiag"+treeName(tr))
+	}
+	for _, m := range ms {
+		row := []string{f0(float64(m))}
+		flops := baseline.PaperFlops(m, n)
+		for _, tr := range treeSet {
+			secs := simShared(mod, m, n, nb, tr, false, cores)
+			row = append(row, f1(baseline.GFlops(flops, secs)))
+		}
+		for _, tr := range treeSet {
+			secs := simShared(mod, m, n, nb, tr, true, cores)
+			row = append(row, f1(baseline.GFlops(flops, secs)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig2b: N = 2000, M up to 40000 (q = 13 tiles).
+func Fig2b(sc Scale) *Table {
+	if sc.Small {
+		return fig2TS("fig2b", 512, 64, []int{512, 2048, 4096, 8192}, sc)
+	}
+	return fig2TS("fig2b", 2000, nbDefault,
+		[]int{2000, 5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000}, sc)
+}
+
+// Fig2c: N = 10000, M up to 100000 (q = 63 tiles).
+func Fig2c(sc Scale) *Table {
+	if sc.Small {
+		return fig2TS("fig2c", 1024, 64, []int{2048, 4096, 8192}, sc)
+	}
+	return fig2TS("fig2c", 10000, nbDefault,
+		[]int{10000, 20000, 40000, 60000, 80000, 100000}, sc)
+}
+
+// fig2GE2VAL compares full GE2VAL against the competitor models. ours
+// follows the paper's best configuration: AUTO tree, BIDIAG on square,
+// R-BIDIAG on tall-skinny, plus the shared-memory band stages.
+func fig2GE2VAL(name string, dims [][2]int, nb int) *Table {
+	mod := machine.Miriel()
+	t := &Table{
+		Name:    name,
+		Caption: "GE2VAL GFlop/s, shared memory: this work (AUTO) vs modeled competitors",
+		Header:  []string{"M", "N", baseline.CompDPLASMA, baseline.CompPLASMA, baseline.CompMKL, baseline.CompScaLAPACK, baseline.CompElemental},
+	}
+	for _, d := range dims {
+		m, n := d[0], d[1]
+		flops := baseline.PaperFlops(m, n)
+		cores := mod.CoresPerNode
+		if m == n {
+			cores--
+		}
+		rb := 3*m >= 5*n
+		ours := ge2valShared(mod, simShared(mod, m, n, nb, trees.Auto, rb, cores), n, nb)
+		plasma := ge2valShared(mod, simShared(mod, m, n, nb, trees.FlatTS, false, cores), n, nb)
+		t.Rows = append(t.Rows, []string{
+			f0(float64(m)), f0(float64(n)),
+			f1(baseline.GFlops(flops, ours)),
+			f1(baseline.GFlops(flops, plasma)),
+			f1(baseline.GFlops(flops, baseline.MKLTime(mod, m, n, nb))),
+			f1(baseline.GFlops(flops, baseline.ScaLAPACKTime(mod, m, n, 1))),
+			f1(baseline.GFlops(flops, baseline.ElementalTime(mod, m, n, 1))),
+		})
+	}
+	return t
+}
+
+// Fig2d: GE2VAL on square matrices.
+func Fig2d(sc Scale) *Table {
+	dims := [][2]int{{5000, 5000}, {10000, 10000}, {20000, 20000}, {30000, 30000}}
+	nb := nbDefault
+	if sc.Small {
+		dims = [][2]int{{640, 640}, {1920, 1920}}
+		nb = 64
+	}
+	return fig2GE2VAL("fig2d", dims, nb)
+}
+
+// Fig2e: GE2VAL, N = 2000 tall-skinny.
+func Fig2e(sc Scale) *Table {
+	dims := [][2]int{{5000, 2000}, {10000, 2000}, {20000, 2000}, {40000, 2000}}
+	nb := nbDefault
+	if sc.Small {
+		dims = [][2]int{{2048, 512}, {8192, 512}}
+		nb = 64
+	}
+	return fig2GE2VAL("fig2e", dims, nb)
+}
+
+// Fig2f: GE2VAL, N = 10000 tall-skinny.
+func Fig2f(sc Scale) *Table {
+	dims := [][2]int{{20000, 10000}, {40000, 10000}, {70000, 10000}, {100000, 10000}}
+	nb := nbDefault
+	if sc.Small {
+		dims = [][2]int{{4096, 1024}, {8192, 1024}}
+		nb = 64
+	}
+	return fig2GE2VAL("fig2f", dims, nb)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"github.com/tiled-la/bidiag/internal/baseline"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// fig3Nodes are the node counts of the strong-scaling study.
+func fig3Nodes(sc Scale) []int {
+	if sc.Small {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 4, 9, 16, 25}
+}
+
+// Fig3a: distributed strong scaling of GE2BND on square matrices
+// (M = N ∈ {20000, 30000} in the paper), BIDIAG with the four tree
+// configurations, √nodes×√nodes grids, one core per node reserved for
+// communication progress.
+func Fig3a(sc Scale) *Table {
+	mod := machine.Miriel()
+	sizes := []int{20000, 30000}
+	nb := nbDefault
+	if sc.Small {
+		sizes = []int{1920}
+		nb = 64
+	}
+	t := &Table{
+		Name:    "fig3a",
+		Caption: "GE2BND GFlop/s, strong scaling, square matrices, BIDIAG (simulated miriel cluster)",
+		Header:  []string{"M=N", "nodes", "BiDiagFlatTS", "BiDiagFlatTT", "BiDiagGreedy", "BiDiagAuto"},
+	}
+	for _, n := range sizes {
+		flops := baseline.PaperFlops(n, n)
+		for _, nodes := range fig3Nodes(sc) {
+			row := []string{f0(float64(n)), f0(float64(nodes))}
+			for _, tr := range treeSet {
+				res := simDistributed(mod, n, n, nb, tr, false, nodes, true)
+				row = append(row, f1(baseline.GFlops(flops, res.Makespan)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// fig3TS is the shared harness of Fig 3b/3c: strong scaling of R-BIDIAG on
+// tall-skinny matrices over nodes×1 grids.
+func fig3TS(name string, m, n, nb int, sc Scale) *Table {
+	mod := machine.Miriel()
+	t := &Table{
+		Name: name,
+		Caption: "GE2BND GFlop/s, strong scaling, tall-skinny " + f0(float64(m)) + "x" +
+			f0(float64(n)) + ", R-BIDIAG (simulated miriel cluster, NB=" + f0(float64(nb)) + ")",
+		Header: []string{"nodes", "R-BiDiagFlatTS", "R-BiDiagFlatTT", "R-BiDiagGreedy", "R-BiDiagAuto"},
+	}
+	flops := baseline.PaperFlops(m, n)
+	for _, nodes := range fig3Nodes(sc) {
+		row := []string{f0(float64(nodes))}
+		for _, tr := range treeSet {
+			res := simDistributed(mod, m, n, nb, tr, true, nodes, false)
+			row = append(row, f1(baseline.GFlops(flops, res.Makespan)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig3b: M = 2,000,000, N = 2000. The tile count (p = 12500) matches the
+// paper's NB = 160 exactly.
+func Fig3b(sc Scale) *Table {
+	if sc.Small {
+		return fig3TS("fig3b", 40960, 512, 64, sc)
+	}
+	return fig3TS("fig3b", 2000000, 2000, nbDefault, sc)
+}
+
+// Fig3c: M = 1,000,000, N = 10000. At NB = 160 this DAG has ~25M tasks;
+// the full-scale run uses NB = 400 (p = 2500, q = 25) to keep the
+// simulation affordable — the GFlop/s conversion still uses the paper's
+// operation count, so only the tree granularity differs (see
+// EXPERIMENTS.md).
+func Fig3c(sc Scale) *Table {
+	if sc.Small {
+		return fig3TS("fig3c", 30720, 1024, 128, sc)
+	}
+	return fig3TS("fig3c", 1000000, 10000, 400, sc)
+}
+
+// fig3GE2VAL is the bottom row of Figure 3: GE2VAL strong scaling of this
+// work against the distributed competitor models, plus the single-node
+// band-stage upper bound for the square case.
+func fig3GE2VAL(name string, m, n, nb int, withBound bool, sc Scale) *Table {
+	mod := machine.Miriel()
+	t := &Table{
+		Name: name,
+		Caption: "GE2VAL GFlop/s, strong scaling, " + f0(float64(m)) + "x" + f0(float64(n)) +
+			" (simulated): this work vs modeled ScaLAPACK/Elemental",
+		Header: []string{"nodes", baseline.CompDPLASMA, baseline.CompElemental, baseline.CompScaLAPACK},
+	}
+	if withBound {
+		t.Header = append(t.Header, "bound(BND2VAL)")
+	}
+	flops := baseline.PaperFlops(m, n)
+	rb := 3*m >= 5*n
+	for _, nodes := range fig3Nodes(sc) {
+		res := simDistributed(mod, m, n, nb, trees.Auto, rb, nodes, m == n)
+		ours := ge2valDistributed(mod, res.Makespan, n, nb, nodes)
+		row := []string{
+			f0(float64(nodes)),
+			f1(baseline.GFlops(flops, ours)),
+			f1(baseline.GFlops(flops, baseline.ElementalTime(mod, m, n, nodes))),
+			f1(baseline.GFlops(flops, baseline.ScaLAPACKTime(mod, m, n, nodes))),
+		}
+		if withBound {
+			bound := mod.BND2BDTime(n, nb) + mod.BD2VALTime(n)
+			row = append(row, f1(baseline.GFlops(flops, bound)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig3d: GE2VAL strong scaling, square (M = N = 30000 full scale).
+func Fig3d(sc Scale) *Table {
+	if sc.Small {
+		return fig3GE2VAL("fig3d", 1920, 1920, 64, true, sc)
+	}
+	return fig3GE2VAL("fig3d", 30000, 30000, nbDefault, true, sc)
+}
+
+// Fig3e: GE2VAL strong scaling, 2,000,000 × 2000.
+func Fig3e(sc Scale) *Table {
+	if sc.Small {
+		return fig3GE2VAL("fig3e", 40960, 512, 64, false, sc)
+	}
+	return fig3GE2VAL("fig3e", 2000000, 2000, nbDefault, false, sc)
+}
+
+// Fig3f: GE2VAL strong scaling, 1,000,000 × 10000 (NB = 400 at full
+// scale, as in Fig3c).
+func Fig3f(sc Scale) *Table {
+	if sc.Small {
+		return fig3GE2VAL("fig3f", 30720, 1024, 128, false, sc)
+	}
+	return fig3GE2VAL("fig3f", 1000000, 10000, 400, false, sc)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"github.com/tiled-la/bidiag/internal/baseline"
+	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// fig4Nodes are the node counts of the weak-scaling study (the n = 10000
+// row of the paper stops at 20 nodes due to 32-bit index limits in the
+// compared libraries; the simulator has no such limit but we keep the
+// paper's range).
+func fig4Nodes(sc Scale, row2 bool) []int {
+	if sc.Small {
+		return []int{1, 2, 4}
+	}
+	if row2 {
+		return []int{1, 4, 8, 12, 16, 20}
+	}
+	return []int{1, 4, 9, 16, 25}
+}
+
+// fig4GE2BND: weak scaling of R-BIDIAG GE2BND on (rowsPerNode·nodes)×n
+// matrices over nodes×1 grids.
+func fig4GE2BND(name string, rowsPerNode, n, nb int, row2 bool, sc Scale) *Table {
+	mod := machine.Miriel()
+	t := &Table{
+		Name: name,
+		Caption: "GE2BND GFlop/s, weak scaling (" + f0(float64(rowsPerNode)) + "·nodes)x" +
+			f0(float64(n)) + ", R-BIDIAG (simulated miriel cluster, NB=" + f0(float64(nb)) + ")",
+		Header: []string{"nodes", "M", "R-BiDiagFlatTS", "R-BiDiagFlatTT", "R-BiDiagGreedy", "R-BiDiagAuto"},
+	}
+	for _, nodes := range fig4Nodes(sc, row2) {
+		m := rowsPerNode * nodes
+		flops := baseline.PaperFlops(m, n)
+		row := []string{f0(float64(nodes)), f0(float64(m))}
+		for _, tr := range treeSet {
+			res := simDistributed(mod, m, n, nb, tr, true, nodes, false)
+			row = append(row, f1(baseline.GFlops(flops, res.Makespan)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fig4GE2VAL: weak scaling of GE2VAL for this work vs the competitor
+// models, with the parallel efficiency column of the paper's third plot.
+func fig4GE2VAL(namePerf, nameEff string, rowsPerNode, n, nb int, row2 bool, sc Scale) (*Table, *Table) {
+	mod := machine.Miriel()
+	perf := &Table{
+		Name: namePerf,
+		Caption: "GE2VAL GFlop/s, weak scaling (" + f0(float64(rowsPerNode)) + "·nodes)x" +
+			f0(float64(n)) + " (simulated)",
+		Header: []string{"nodes", baseline.CompDPLASMA, baseline.CompElemental, baseline.CompScaLAPACK},
+	}
+	eff := &Table{
+		Name:    nameEff,
+		Caption: "GE2VAL weak-scaling efficiency (rate per node normalized to 1 node)",
+		Header:  []string{"nodes", baseline.CompDPLASMA, baseline.CompElemental, baseline.CompScaLAPACK},
+	}
+	var base [3]float64
+	for idx, nodes := range fig4Nodes(sc, row2) {
+		m := rowsPerNode * nodes
+		flops := baseline.PaperFlops(m, n)
+		res := simDistributed(mod, m, n, nb, trees.Auto, true, nodes, false)
+		ours := baseline.GFlops(flops, ge2valDistributed(mod, res.Makespan, n, nb, nodes))
+		el := baseline.GFlops(flops, baseline.ElementalTime(mod, m, n, nodes))
+		sca := baseline.GFlops(flops, baseline.ScaLAPACKTime(mod, m, n, nodes))
+		perf.Rows = append(perf.Rows, []string{
+			f0(float64(nodes)), f1(ours), f1(el), f1(sca),
+		})
+		rates := [3]float64{ours / float64(nodes), el / float64(nodes), sca / float64(nodes)}
+		if idx == 0 {
+			base = rates
+		}
+		eff.Rows = append(eff.Rows, []string{
+			f0(float64(nodes)),
+			f2(rates[0] / base[0]),
+			f2(rates[1] / base[1]),
+			f2(rates[2] / base[2]),
+		})
+	}
+	return perf, eff
+}
+
+// Fig4a: weak scaling GE2BND, (80000·nodes)×2000.
+func Fig4a(sc Scale) *Table {
+	if sc.Small {
+		return fig4GE2BND("fig4a", 8192, 512, 64, false, sc)
+	}
+	return fig4GE2BND("fig4a", 80000, 2000, nbDefault, false, sc)
+}
+
+// Fig4b and Fig4c: weak scaling GE2VAL and its efficiency, n = 2000 row.
+func Fig4bc(sc Scale) (*Table, *Table) {
+	if sc.Small {
+		return fig4GE2VAL("fig4b", "fig4c", 8192, 512, 64, false, sc)
+	}
+	return fig4GE2VAL("fig4b", "fig4c", 80000, 2000, nbDefault, false, sc)
+}
+
+// Fig4d: weak scaling GE2BND, (100000·nodes)×10000. Full scale uses
+// NB = 400 for tractable DAG sizes (see Fig3c).
+func Fig4d(sc Scale) *Table {
+	if sc.Small {
+		return fig4GE2BND("fig4d", 10240, 1024, 128, true, sc)
+	}
+	return fig4GE2BND("fig4d", 100000, 10000, 400, true, sc)
+}
+
+// Fig4e and Fig4f: weak scaling GE2VAL and efficiency, n = 10000 row.
+func Fig4ef(sc Scale) (*Table, *Table) {
+	if sc.Small {
+		return fig4GE2VAL("fig4e", "fig4f", 10240, 1024, 128, true, sc)
+	}
+	return fig4GE2VAL("fig4e", "fig4f", 100000, 10000, 400, true, sc)
+}

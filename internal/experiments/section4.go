@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/tiled-la/bidiag/internal/critpath"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// CriticalPaths validates the Section IV formulas: for a grid of (p, q)
+// tile shapes it compares the paper's closed forms with the critical path
+// measured on the actual task DAG, for all three machine-free trees, and
+// reports R-BIDIAG both ways (DAG with overlap, and the paper's no-overlap
+// accounting).
+func CriticalPaths(sc Scale) *Table {
+	shapes := [][2]int{
+		{4, 4}, {8, 4}, {16, 4}, {8, 8}, {16, 8}, {32, 8},
+		{16, 16}, {32, 16}, {64, 16}, {32, 32}, {64, 32}, {40, 13},
+	}
+	if sc.Small {
+		shapes = [][2]int{{4, 4}, {8, 4}, {8, 8}, {16, 8}}
+	}
+	t := &Table{
+		Name:    "critpaths",
+		Caption: "Section IV critical paths (units of nb³/3): paper formula vs DAG measurement; R-BIDIAG DAG (with overlap) vs no-overlap accounting",
+		Header: []string{"p", "q", "tree",
+			"BIDIAG(formula)", "BIDIAG(DAG)", "match",
+			"R-BIDIAG(DAG)", "R-BIDIAG(no-ovl)"},
+	}
+	for _, sh := range shapes {
+		p, q := sh[0], sh[1]
+		for _, tr := range []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy} {
+			formula := critpath.BidiagFormula(tr, p, q)
+			dag := critpath.MeasureBidiag(tr, p, q)
+			match := "YES"
+			if formula != dag {
+				match = "NO"
+			}
+			t.Rows = append(t.Rows, []string{
+				f0(float64(p)), f0(float64(q)), tr.String(),
+				f0(formula), f0(dag), match,
+				f0(critpath.MeasureRBidiag(tr, p, q)),
+				f0(critpath.RBidiagNoOverlap(tr, p, q)),
+			})
+		}
+	}
+	return t
+}
+
+// Crossover reproduces Section IV.C: the ratio δs = p/q at which R-BIDIAG
+// overtakes BIDIAG, per q, under both the DAG measurement and the paper's
+// no-overlap accounting (which is the quantity reported to oscillate in
+// [5, 8]).
+func Crossover(sc Scale) *Table {
+	qs := []int{2, 3, 4, 6, 8, 12, 16, 20, 24, 32}
+	if sc.Small {
+		qs = []int{2, 4, 8}
+	}
+	t := &Table{
+		Name:    "crossover",
+		Caption: "Section IV.C: switching ratio δs(q) between BIDIAG and R-BIDIAG (GREEDY trees)",
+		Header:  []string{"q", "δs(DAG)", "p(DAG)", "δs(no-overlap)", "p(no-overlap)"},
+	}
+	for _, q := range qs {
+		d1, p1, ok1 := critpath.Crossover(trees.Greedy, q, 16)
+		d2, p2, ok2 := critpath.CrossoverNoOverlap(trees.Greedy, q, 16)
+		row := []string{f0(float64(q))}
+		if ok1 {
+			row = append(row, f2(d1), f0(float64(p1)))
+		} else {
+			row = append(row, ">16", "-")
+		}
+		if ok2 {
+			row = append(row, f2(d2), f0(float64(p2)))
+		} else {
+			row = append(row, ">16", "-")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Asymptotics reports the convergence of Equation (1) — the normalized
+// GREEDY critical path tends to 1 — and of Theorem 1 — the BIDIAG over
+// R-BIDIAG ratio tends to 1 + α/2 — for p = q^(1+α).
+func Asymptotics(sc Scale) *Table {
+	alphas := []float64{0, 0.25, 0.5, 0.75}
+	qsFormula := []int{64, 256, 1024, 4096}
+	qsDAG := []int{16, 32, 64}
+	if sc.Small {
+		qsFormula = []int{64, 256}
+		qsDAG = []int{8, 16}
+	}
+	t := &Table{
+		Name:    "asymptotics",
+		Caption: "Eq.(1) ratio BIDIAGGREEDY/((12+6α)q·log₂q) → 1 (formula) and Theorem 1 ratio BIDIAG/R-BIDIAG → 1+α/2 (DAG)",
+		Header:  []string{"α", "q", "Eq1 ratio", "q(DAG)", "Th1 ratio", "Th1 limit"},
+	}
+	for _, a := range alphas {
+		for i, q := range qsFormula {
+			row := []string{f2(a), f0(float64(q)), f2(critpath.GreedyAsymptoticRatio(a, 1, q))}
+			if i < len(qsDAG) {
+				qd := qsDAG[i]
+				p := int(math.Ceil(math.Pow(float64(qd), 1+a)))
+				if p < qd {
+					p = qd
+				}
+				row = append(row, f0(float64(qd)), f2(critpath.Theorem1Ratio(a, 1, qd)), f2(1+a/2))
+			} else {
+				row = append(row, "-", "-", f2(1+a/2))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}

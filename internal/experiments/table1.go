@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// Table1 verifies Table I of the paper: the cost of each tile kernel in
+// units of nb³/3 flops. The "model" column is the leading-order flop count
+// of the kernel divided by nb³/3; the "measured" column times this
+// repository's kernels and reports their achieved GFlop/s, demonstrating
+// the TS-versus-TT efficiency gap the paper's trees trade on.
+func Table1(sc Scale) *Table {
+	nb := 128
+	if sc.Small {
+		nb = 48
+	}
+	unit := float64(nb) * float64(nb) * float64(nb) / 3
+
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *nla.Matrix { return nla.RandomMatrix(rng, nb, nb) }
+	tri := func() *nla.Matrix {
+		m := mk()
+		for j := 0; j < nb; j++ {
+			for i := j + 1; i < nb; i++ {
+				m.Set(i, j, 0)
+			}
+		}
+		return m
+	}
+	t := nla.NewMatrix(nb, nb)
+	tau := make([]float64, nb)
+
+	timeKernel := func(setup func() func()) (secs float64) {
+		reps := 3
+		best := 1e30
+		for r := 0; r < reps; r++ {
+			run := setup()
+			start := time.Now()
+			run()
+			if d := time.Since(start).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	rows := [][]string{}
+	add := func(kind kernels.Kind, flops float64, setup func() func()) {
+		secs := timeKernel(setup)
+		rows = append(rows, []string{
+			kind.String(),
+			f1(kernels.Weight(kind)),
+			f2(flops / unit),
+			f2(flops / secs / 1e9),
+		})
+	}
+
+	add(kernels.GEQRTKind, kernels.FlopsGEQRT(nb, nb), func() func() {
+		a := mk()
+		return func() { kernels.GEQRT(a, t, tau) }
+	})
+	add(kernels.UNMQRKind, kernels.FlopsUNMQR(nb, nb, nb), func() func() {
+		a := mk()
+		kernels.GEQRT(a, t, tau)
+		c := mk()
+		return func() { kernels.UNMQR(true, nb, a, t, c) }
+	})
+	add(kernels.TSQRTKind, kernels.FlopsTSQRT(nb, nb), func() func() {
+		a1, a2 := tri(), mk()
+		return func() { kernels.TSQRT(a1, a2, t, tau) }
+	})
+	add(kernels.TSMQRKind, kernels.FlopsTSMQR(nb, nb, nb), func() func() {
+		a1, a2 := tri(), mk()
+		kernels.TSQRT(a1, a2, t, tau)
+		c1, c2 := mk(), mk()
+		return func() { kernels.TSMQR(true, nb, a2, t, c1, c2) }
+	})
+	add(kernels.TTQRTKind, kernels.FlopsTTQRT(nb), func() func() {
+		a1, a2 := tri(), tri()
+		return func() { kernels.TTQRT(a1, a2, t, tau) }
+	})
+	add(kernels.TTMQRKind, kernels.FlopsTTMQR(nb, nb), func() func() {
+		a1, a2 := tri(), tri()
+		kernels.TTQRT(a1, a2, t, tau)
+		c1, c2 := mk(), mk()
+		return func() { kernels.TTMQR(true, nb, a2, t, c1, c2) }
+	})
+	add(kernels.GELQTKind, kernels.FlopsGELQT(nb, nb), func() func() {
+		a := mk()
+		return func() { kernels.GELQT(a, t, tau) }
+	})
+	add(kernels.TSLQTKind, kernels.FlopsTSLQT(nb, nb), func() func() {
+		a1 := tri().Transpose()
+		a2 := mk()
+		return func() { kernels.TSLQT(a1, a2, t, tau) }
+	})
+	add(kernels.TSMLQKind, kernels.FlopsTSMLQ(nb, nb, nb), func() func() {
+		a1 := tri().Transpose()
+		a2 := mk()
+		kernels.TSLQT(a1, a2, t, tau)
+		c1, c2 := mk(), mk()
+		return func() { kernels.TSMLQ(true, nb, a2, t, c1, c2) }
+	})
+	add(kernels.TTLQTKind, kernels.FlopsTTLQT(nb), func() func() {
+		a1, a2 := tri().Transpose(), tri().Transpose()
+		return func() { kernels.TTLQT(a1, a2, t, tau) }
+	})
+
+	return &Table{
+		Name:    "table1",
+		Caption: "Table I kernel costs: Table-I weight vs leading-order flops/(nb³/3), plus measured kernel GFlop/s of this implementation (nb=" + f0(float64(nb)) + ")",
+		Header:  []string{"kernel", "tableI", "flops/unit", "GFlop/s(go)"},
+		Rows:    rows,
+	}
+}

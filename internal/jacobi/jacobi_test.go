@@ -1,0 +1,87 @@
+package jacobi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+func TestDiagonalMatrix(t *testing.T) {
+	a := nla.NewMatrix(4, 4)
+	want := []float64{9, 5, 2, 0.5}
+	for i, v := range []float64{2, 9, 0.5, 5} {
+		a.Set(i, i, v)
+	}
+	got := SingularValues(a)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("diag svd: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKnownSpectrumViaOrthogonalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := []float64{10, 4, 2, 1, 0.25}
+	a := nla.NewMatrix(8, 5)
+	for i, v := range want {
+		a.Set(i, i, v)
+	}
+	nla.ApplyRandomOrthogonalLeft(rng, 6, a)
+	nla.ApplyRandomOrthogonalRight(rng, 6, a)
+	got := SingularValues(a)
+	if d := MaxRelDiff(got, want); d > 1e-13 {
+		t.Fatalf("spectrum off by %g: %v", d, got)
+	}
+}
+
+func TestWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := nla.RandomMatrix(rng, 3, 7)
+	sa := SingularValues(a)
+	sat := SingularValues(a.Transpose())
+	if d := MaxRelDiff(sa, sat); d > 1e-13 {
+		t.Fatalf("svd not transpose-invariant: %g", d)
+	}
+	if len(sa) != 3 {
+		t.Fatalf("wide matrix should have min(m,n) singular values")
+	}
+}
+
+func TestFrobeniusIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := nla.RandomMatrix(rng, 10, 6)
+	sv := SingularValues(a)
+	var ssq float64
+	for _, v := range sv {
+		ssq += v * v
+	}
+	f := a.FrobeniusNorm()
+	if math.Abs(math.Sqrt(ssq)-f) > 1e-12*f {
+		t.Fatalf("Σσ² != ‖A‖F²")
+	}
+}
+
+func TestRankDeficient(t *testing.T) {
+	// Two identical columns: smallest singular value must be ~0.
+	a := nla.NewMatrix(5, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5; i++ {
+		v := rng.NormFloat64()
+		a.Set(i, 0, v)
+		a.Set(i, 1, v)
+		a.Set(i, 2, rng.NormFloat64())
+	}
+	sv := SingularValues(a)
+	if sv[2] > 1e-13*sv[0] {
+		t.Fatalf("rank deficiency missed: %v", sv)
+	}
+}
+
+func TestMaxRelDiffLengthMismatch(t *testing.T) {
+	if !math.IsInf(MaxRelDiff([]float64{1}, []float64{1, 2}), 1) {
+		t.Fatalf("length mismatch should be infinite")
+	}
+}

@@ -1,0 +1,38 @@
+// Package kernels implements the twelve tile kernels of the tiled
+// bidiagonalization algorithms of Faverge, Langou, Robert and Dongarra
+// (IPDPS 2017), Table I:
+//
+//	QR family                     LQ family (duals)
+//	GEQRT  factor square tile     GELQT
+//	UNMQR  apply Q of GEQRT       UNMLQ
+//	TSQRT  zero square w/ tri     TSLQT   (Triangle on top of Square)
+//	TSMQR  apply Q of TSQRT       TSMLQ
+//	TTQRT  zero tri w/ tri        TTLQT   (Triangle on top of Triangle)
+//	TTMQR  apply Q of TTQRT       TTMLQ
+//
+// # Conventions
+//
+// All tiles are column-major nla.Matrix values. The QR kernels build
+// compact-WY products in the forward order of LAPACK dlarft:
+//
+//	Q = H₁H₂···H_k = I − V·T·Vᵀ
+//
+// with V unit-lower (column reflectors) and T upper triangular, so that
+// applying Qᵀ to C from the left is C ← C − V·Tᵀ·(Vᵀ·C).
+//
+// The LQ kernels are exact transpose duals. GELQT applies row reflectors
+// H₁···H_k from the right, producing A·P = L with P = I − Ṽ·T·Ṽᵀ and
+// Ṽ = V_storedᵀ (reflector tails are stored in the rows of the factored
+// tile, strictly right of the diagonal). Hence A = L·Q with Q = Pᵀ, and
+// the algorithmic update "apply the same transformation to the other rows"
+// is C ← C·P, i.e. UNMLQ/TSMLQ/TTMLQ with trans = true.
+//
+// # Cost model
+//
+// Weight returns the Table I cost of a kernel in units of nb³/3 floating
+// point operations (GEQRT 4, UNMQR 6, TSQRT 6, TSMQR 12, TTQRT 2,
+// TTMQR 6, LQ duals identical). Flops* return LAPACK-style leading-order
+// operation counts used by the machine model; the compact-WY T build is
+// excluded there because the inner-blocked (ib ≪ nb) kernels of the paper
+// make it a lower-order term.
+package kernels

@@ -1,0 +1,329 @@
+package kernels
+
+import (
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// GELQT computes the LQ factorization of the tile a (m×n), overwriting the
+// lower triangle (including the diagonal) with L and the strictly upper part
+// with the row-reflector tails (unit diagonal implicit). With
+// P = H₁···H_k = I − Ṽ·T·Ṽᵀ (Ṽ = V_storedᵀ), A·P = L, i.e. A = L·Q with
+// Q = Pᵀ. tau receives the k = min(m,n) scalar factors, t the k×k upper
+// triangular factor.
+func GELQT(a, t *nla.Matrix, tau []float64) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) < k || t.Rows < k || t.Cols < k {
+		panic("kernels: GELQT: workspace too small")
+	}
+	row := make([]float64, n) // scratch for the current reflector row
+	for i := 0; i < k; i++ {
+		// Generate H_i from row i right of the diagonal.
+		tail := row[:n-i-1]
+		for c := i + 1; c < n; c++ {
+			tail[c-i-1] = a.Data[i+c*a.LD]
+		}
+		beta, ti := nla.Larfg(a.Data[i+i*a.LD], tail)
+		a.Data[i+i*a.LD] = beta
+		for c := i + 1; c < n; c++ {
+			a.Data[i+c*a.LD] = tail[c-i-1]
+		}
+		tau[i] = ti
+		// Apply H_i from the right to rows i+1..m-1.
+		if ti != 0 {
+			for ii := i + 1; ii < m; ii++ {
+				w := a.Data[ii+i*a.LD]
+				for c := i + 1; c < n; c++ {
+					w += a.Data[ii+c*a.LD] * tail[c-i-1]
+				}
+				w *= ti
+				a.Data[ii+i*a.LD] -= w
+				for c := i + 1; c < n; c++ {
+					a.Data[ii+c*a.LD] -= w * tail[c-i-1]
+				}
+			}
+		}
+		// T(0:i, i) = -tau_i * T(0:i,0:i) * (Ṽ(:,0:i)ᵀ v_i): for l < i the
+		// overlap is the unit of v_l against v_i's entry at column l... the
+		// unit of v_i sits at column i, so z_l = V(l,i)·1 + Σ_{c>i} V(l,c)V(i,c).
+		for l := 0; l < i; l++ {
+			s := a.Data[l+i*a.LD]
+			for c := i + 1; c < n; c++ {
+				s += a.Data[l+c*a.LD] * a.Data[i+c*a.LD]
+			}
+			t.Data[l+i*t.LD] = s
+		}
+		scaleTriColumn(t, i, -ti)
+		t.Data[i+i*t.LD] = ti
+	}
+}
+
+// UNMLQ overwrites c (m×n) with c·P (trans=true, the factorization update
+// C·Qᵀ) or c·Q (trans=false), where the row reflectors are held in the first
+// k rows of v (unit-upper storage from GELQT) and t is the k×k factor.
+func UNMLQ(trans bool, k int, v, t, c *nla.Matrix) {
+	m, n := c.Rows, c.Cols
+	if v.Cols != n {
+		panic("kernels: UNMLQ: V and C column mismatch")
+	}
+	// W = C·Ṽ = C·V_storedᵀ, m×k with unit-upper V rows. As in UNMQR, the
+	// head (columns < k of C against the unit-triangular head of V) is a
+	// short triangular update and the tail a plain GEMM.
+	w := nla.NewMatrix(m, k)
+	for trow := 0; trow < k; trow++ {
+		wc := w.Data[trow*w.LD : trow*w.LD+m]
+		copy(wc, c.Data[trow*c.LD:trow*c.LD+m])
+		for j := trow + 1; j < k; j++ {
+			vt := v.Data[trow+j*v.LD]
+			if vt == 0 {
+				continue
+			}
+			cc := c.Data[j*c.LD : j*c.LD+m]
+			for i := range wc {
+				wc[i] += vt * cc[i]
+			}
+		}
+	}
+	if n > k {
+		nla.Gemm(false, true, 1, c.View(0, k, m, n-k), v.View(0, k, k, n-k), 1, w)
+	}
+	applyTRight(trans, k, t, w)
+	// C(:,0:k) −= W·V1 (unit-upper head), C(:,k:n) −= W·V2.
+	for trow := 0; trow < k; trow++ {
+		wc := w.Data[trow*w.LD : trow*w.LD+m]
+		cc := c.Data[trow*c.LD : trow*c.LD+m]
+		for i := range wc {
+			cc[i] -= wc[i]
+		}
+		for j := trow + 1; j < k; j++ {
+			vt := v.Data[trow+j*v.LD]
+			if vt == 0 {
+				continue
+			}
+			cj := c.Data[j*c.LD : j*c.LD+m]
+			for i := range wc {
+				cj[i] -= wc[i] * vt
+			}
+		}
+	}
+	if n > k {
+		nla.Gemm(false, false, -1, w, v.View(0, k, k, n-k), 1, c.View(0, k, m, n-k))
+	}
+}
+
+// applyTRight overwrites the m×k workspace with W·op(T), where T is k×k
+// upper triangular; op(T) = T when trans is true (the C·P update used by the
+// factorizations) and Tᵀ otherwise.
+func applyTRight(trans bool, k int, t, w *nla.Matrix) {
+	m := w.Rows
+	if trans {
+		// W ← W·T: column j' = Σ_{l ≤ j'} W(:,l) T(l,j'); descending order
+		// keeps the still-needed original columns intact.
+		for j := k - 1; j >= 0; j-- {
+			wj := w.Data[j*w.LD : j*w.LD+m]
+			djj := t.Data[j+j*t.LD]
+			for i := range wj {
+				wj[i] *= djj
+			}
+			for l := 0; l < j; l++ {
+				tl := t.Data[l+j*t.LD]
+				if tl == 0 {
+					continue
+				}
+				wl := w.Data[l*w.LD : l*w.LD+m]
+				for i := range wj {
+					wj[i] += tl * wl[i]
+				}
+			}
+		}
+	} else {
+		// W ← W·Tᵀ: column j' = Σ_{l ≥ j'} W(:,l) T(j',l); ascending order.
+		for j := 0; j < k; j++ {
+			wj := w.Data[j*w.LD : j*w.LD+m]
+			djj := t.Data[j+j*t.LD]
+			for i := range wj {
+				wj[i] *= djj
+			}
+			for l := j + 1; l < k; l++ {
+				tl := t.Data[j+l*t.LD]
+				if tl == 0 {
+					continue
+				}
+				wl := w.Data[l*w.LD : l*w.LD+m]
+				for i := range wj {
+					wj[i] += tl * wl[i]
+				}
+			}
+		}
+	}
+}
+
+// TSLQT factors the triangle-on-square LQ pair [L, A2] (side by side):
+// a1 is the m×m lower-triangular tile updated in place, a2 an m×n dense
+// tile that receives the row-reflector tails: v_i = [e_i, a2(i,:)].
+func TSLQT(a1, a2, t *nla.Matrix, tau []float64) {
+	m := a1.Rows
+	n := a2.Cols
+	if a1.Cols < m || a2.Rows != m || len(tau) < m || t.Rows < m || t.Cols < m {
+		panic("kernels: TSLQT: shape mismatch")
+	}
+	rowi := make([]float64, n)
+	rowii := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for c := 0; c < n; c++ {
+			rowi[c] = a2.Data[i+c*a2.LD]
+		}
+		beta, ti := nla.Larfg(a1.Data[i+i*a1.LD], rowi)
+		a1.Data[i+i*a1.LD] = beta
+		for c := 0; c < n; c++ {
+			a2.Data[i+c*a2.LD] = rowi[c]
+		}
+		tau[i] = ti
+		if ti != 0 {
+			for ii := i + 1; ii < m; ii++ {
+				for c := 0; c < n; c++ {
+					rowii[c] = a2.Data[ii+c*a2.LD]
+				}
+				w := a1.Data[ii+i*a1.LD] + nla.Dot(rowi, rowii)
+				w *= ti
+				a1.Data[ii+i*a1.LD] -= w
+				for c := 0; c < n; c++ {
+					a2.Data[ii+c*a2.LD] = rowii[c] - w*rowi[c]
+				}
+			}
+		}
+		// Unit parts are orthogonal for l < i: z_l = a2(l,:)·a2(i,:).
+		for l := 0; l < i; l++ {
+			var s float64
+			for c := 0; c < n; c++ {
+				s += a2.Data[l+c*a2.LD] * rowi[c]
+			}
+			t.Data[l+i*t.LD] = s
+		}
+		scaleTriColumn(t, i, -ti)
+		t.Data[i+i*t.LD] = ti
+	}
+}
+
+// TSMLQ applies the TSLQT transformation (k reflectors, tails v2, factor t)
+// to the tile pair [C1, C2] from the right; trans=true applies the
+// factorization update C·P. Only the first k columns of c1 participate.
+func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+	m := c1.Rows
+	n2 := c2.Cols
+	if c2.Rows != m || v2.Cols != n2 || v2.Rows < k || c1.Cols < k {
+		panic("kernels: TSMLQ: shape mismatch")
+	}
+	// Dense-V2 GEMM form (dual of TSMQR): W = C1(:,0:k) + C2·V2ᵀ;
+	// W ← W·op(T); C1(:,0:k) −= W; C2 −= W·V2.
+	w := nla.NewMatrix(m, k)
+	vv := v2.View(0, 0, k, n2)
+	c1v := c1.View(0, 0, m, k)
+	nla.CopyInto(w, c1v)
+	nla.Gemm(false, true, 1, c2, vv, 1, w)
+	applyTRight(trans, k, t, w)
+	for trow := 0; trow < k; trow++ {
+		wc := w.Data[trow*w.LD : trow*w.LD+m]
+		cc := c1.Data[trow*c1.LD : trow*c1.LD+m]
+		for i := range wc {
+			cc[i] -= wc[i]
+		}
+	}
+	nla.Gemm(false, false, -1, w, vv, 1, c2)
+}
+
+// TTLQT factors the triangle-on-triangle LQ pair [L1, L2]: a1 is the k×k
+// lower triangle of the pivot tile, a2 the k×n2 lower triangle (or
+// trapezoid when n2 < k) being annihilated; its lower part is overwritten
+// with the row-reflector tails. Row i's reflector involves only columns
+// 0..min(i+1,n2)-1 of a2.
+func TTLQT(a1, a2, t *nla.Matrix, tau []float64) {
+	k := a1.Rows
+	n2 := a2.Cols
+	if a2.Rows != k || len(tau) < k || t.Rows < k || t.Cols < k {
+		panic("kernels: TTLQT: shape mismatch")
+	}
+	rowi := make([]float64, n2)
+	rowii := make([]float64, n2)
+	for i := 0; i < k; i++ {
+		r2 := min(i+1, n2)
+		for c := 0; c < r2; c++ {
+			rowi[c] = a2.Data[i+c*a2.LD]
+		}
+		beta, ti := nla.Larfg(a1.Data[i+i*a1.LD], rowi[:r2])
+		a1.Data[i+i*a1.LD] = beta
+		for c := 0; c < r2; c++ {
+			a2.Data[i+c*a2.LD] = rowi[c]
+		}
+		tau[i] = ti
+		if ti != 0 {
+			for ii := i + 1; ii < k; ii++ {
+				for c := 0; c < r2; c++ {
+					rowii[c] = a2.Data[ii+c*a2.LD]
+				}
+				w := a1.Data[ii+i*a1.LD] + nla.Dot(rowi[:r2], rowii[:r2])
+				w *= ti
+				a1.Data[ii+i*a1.LD] -= w
+				for c := 0; c < r2; c++ {
+					a2.Data[ii+c*a2.LD] = rowii[c] - w*rowi[c]
+				}
+			}
+		}
+		for l := 0; l < i; l++ {
+			rl := min(l+1, n2)
+			var s float64
+			for c := 0; c < rl; c++ {
+				s += a2.Data[l+c*a2.LD] * rowi[c]
+			}
+			t.Data[l+i*t.LD] = s
+		}
+		scaleTriColumn(t, i, -ti)
+		t.Data[i+i*t.LD] = ti
+	}
+}
+
+// TTMLQ applies the TTLQT transformation to the tile pair [C1, C2] from the
+// right; v2 holds the lower-trapezoidal row tails produced by TTLQT. Only
+// the first k columns of c1 participate.
+func TTMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+	m := c1.Rows
+	n2 := c2.Cols
+	if c2.Rows != m || v2.Cols != n2 || v2.Rows < k || c1.Cols < k {
+		panic("kernels: TTMLQ: shape mismatch")
+	}
+	w := nla.NewMatrix(m, k)
+	for trow := 0; trow < k; trow++ {
+		r2 := min(trow+1, n2)
+		wc := w.Data[trow*w.LD : trow*w.LD+m]
+		copy(wc, c1.Data[trow*c1.LD:trow*c1.LD+m])
+		for j := 0; j < r2; j++ {
+			vt := v2.Data[trow+j*v2.LD]
+			if vt == 0 {
+				continue
+			}
+			cc := c2.Data[j*c2.LD : j*c2.LD+m]
+			for i := range wc {
+				wc[i] += vt * cc[i]
+			}
+		}
+	}
+	applyTRight(trans, k, t, w)
+	for trow := 0; trow < k; trow++ {
+		r2 := min(trow+1, n2)
+		wc := w.Data[trow*w.LD : trow*w.LD+m]
+		cc := c1.Data[trow*c1.LD : trow*c1.LD+m]
+		for i := range wc {
+			cc[i] -= wc[i]
+		}
+		for j := 0; j < r2; j++ {
+			vt := v2.Data[trow+j*v2.LD]
+			if vt == 0 {
+				continue
+			}
+			cj := c2.Data[j*c2.LD : j*c2.LD+m]
+			for i := range wc {
+				cj[i] -= wc[i] * vt
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// Property: GEQRT on random shapes always yields an orthogonal Q with
+// Q·R = A.
+func TestGEQRTReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(14)
+		n := 1 + rng.Intn(14)
+		a := nla.RandomMatrix(rng, m, n)
+		orig := a.Clone()
+		k := min(m, n)
+		tm := nla.NewMatrix(k, k)
+		tau := make([]float64, k)
+		GEQRT(a, tm, tau)
+		q := explicitQ(unitLowerV(a, k), tm)
+		if nla.OrthogonalityError(q) > 1e-12 {
+			return false
+		}
+		return maxDiff(nla.MulAB(q, upperR(a)), orig) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a TS elimination annihilates the square block and preserves
+// the stacked Frobenius norm, for any tile shapes.
+func TestTSQRTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m2 := 1 + rng.Intn(12)
+		r1 := upperR(nla.RandomMatrix(rng, n, n))
+		a2 := nla.RandomMatrix(rng, m2, n)
+		f1, f2 := r1.FrobeniusNorm(), a2.FrobeniusNorm()
+		tm := nla.NewMatrix(n, n)
+		tau := make([]float64, n)
+		TSQRT(r1, a2, tm, tau)
+		rOut := upperR(r1).FrobeniusNorm()
+		want := f1*f1 + f2*f2
+		got := rOut * rOut
+		return got < want*(1+1e-10)+1e-10 && got > want*(1-1e-10)-1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UNMQR with trans then no-trans round-trips any C.
+func TestUNMQRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(m)
+		nc := 1 + rng.Intn(8)
+		a := nla.RandomMatrix(rng, m, n)
+		tm := nla.NewMatrix(n, n)
+		tau := make([]float64, n)
+		GEQRT(a, tm, tau)
+		c := nla.RandomMatrix(rng, m, nc)
+		want := c.Clone()
+		UNMQR(true, n, a, tm, c)
+		UNMQR(false, n, a, tm, c)
+		return maxDiff(c, want) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LQ kernels remain exact transpose duals of QR kernels on
+// random shapes.
+func TestLQDualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(10)
+		n := 1 + rng.Intn(10)
+		a := nla.RandomMatrix(rng, m, n)
+		k := min(m, n)
+
+		lq := a.Clone()
+		tLQ := nla.NewMatrix(k, k)
+		tauLQ := make([]float64, k)
+		GELQT(lq, tLQ, tauLQ)
+
+		qr := a.Transpose()
+		tQR := nla.NewMatrix(k, k)
+		tauQR := make([]float64, k)
+		GEQRT(qr, tQR, tauQR)
+
+		return maxDiff(lq, qr.Transpose()) < 1e-11 && maxDiff(tLQ, tQR) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a full TT binomial reduction of a column of triangularized
+// tiles produces the same R (up to column signs) as a direct QR of the
+// stacked column.
+func TestTTReductionMatchesDirectQR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 2 + rng.Intn(5)
+		rows := 2 + rng.Intn(4)
+		tiles := make([]*nla.Matrix, rows)
+		stacked := nla.NewMatrix(rows*nb, nb)
+		for i := range tiles {
+			tiles[i] = nla.RandomMatrix(rng, nb, nb)
+			nla.CopyInto(stacked.View(i*nb, 0, nb, nb), tiles[i])
+		}
+		// Triangularize each tile, then TT-reduce pairwise into tile 0.
+		tm := nla.NewMatrix(nb, nb)
+		tau := make([]float64, nb)
+		for i := range tiles {
+			GEQRT(tiles[i], tm, tau)
+		}
+		for i := 1; i < rows; i++ {
+			TTQRT(tiles[0], tiles[i], tm, tau)
+		}
+		rTree := upperR(tiles[0])
+
+		tS := nla.NewMatrix(nb, nb)
+		GEQRT(stacked, tS, tau)
+		rDirect := upperR(stacked.View(0, 0, nb, nb))
+
+		// R factors agree up to row signs; compare absolute values.
+		for j := 0; j < nb; j++ {
+			for i := 0; i <= j; i++ {
+				d := abs(rTree.At(i, j)) - abs(rDirect.At(i, j))
+				if d > 1e-10 || d < -1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,278 @@
+package kernels
+
+import (
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// GEQRT computes the QR factorization of the tile a (m×n), overwriting the
+// upper triangle (including the diagonal) with R and the strictly lower
+// part with the Householder vectors V (unit diagonal implicit). tau receives
+// the k = min(m,n) scalar factors and t the k×k upper-triangular block
+// reflector factor such that Q = I − V·T·Vᵀ.
+func GEQRT(a, t *nla.Matrix, tau []float64) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) < k || t.Rows < k || t.Cols < k {
+		panic("kernels: GEQRT: workspace too small")
+	}
+	for j := 0; j < k; j++ {
+		// Generate H_j from column j below the diagonal.
+		col := a.Data[j+j*a.LD:]
+		beta, tj := nla.Larfg(col[0], col[1:m-j])
+		a.Data[j+j*a.LD] = beta
+		tau[j] = tj
+		// Apply H_j to the trailing columns j+1..n-1.
+		if tj != 0 {
+			v := a.Data[j+1+j*a.LD : m+j*a.LD] // tail of v_j, length m-j-1
+			for jj := j + 1; jj < n; jj++ {
+				c := a.Data[j+jj*a.LD : m+jj*a.LD]
+				w := c[0] + nla.Dot(v, c[1:])
+				w *= tj
+				c[0] -= w
+				nla.Axpy(-w, v, c[1:])
+			}
+		}
+		// T(0:j, j) = -tau_j * T(0:j,0:j) * (V(:,0:j)ᵀ v_j); T(j,j) = tau_j.
+		for i := 0; i < j; i++ {
+			// z_i = V(:,i)ᵀ v_j over rows j..m-1: V(j,i)·1 + Σ_{r>j} V(r,i)·v_j(r).
+			s := a.Data[j+i*a.LD]
+			for r := j + 1; r < m; r++ {
+				s += a.Data[r+i*a.LD] * a.Data[r+j*a.LD]
+			}
+			t.Data[i+j*t.LD] = s
+		}
+		scaleTriColumn(t, j, -tj)
+		t.Data[j+j*t.LD] = tj
+	}
+}
+
+// UNMQR overwrites c (m×n) with Qᵀ·c (trans=true) or Q·c (trans=false),
+// where Q is the compact-WY product held in the first k columns of v
+// (unit-lower storage from GEQRT) and the k×k factor t.
+func UNMQR(trans bool, k int, v, t, c *nla.Matrix) {
+	m, n := c.Rows, c.Cols
+	if v.Rows != m {
+		panic("kernels: UNMQR: V and C row mismatch")
+	}
+	// Split V into its unit-lower k×k head V1 and dense tail V2 (dlarfb
+	// style): the V2 halves are plain GEMMs, the V1 halves short
+	// triangular updates.
+	w := nla.NewMatrix(k, n)
+	// W = V1ᵀ·C(0:k,:) (unit-lower triangular).
+	for j := 0; j < n; j++ {
+		cc := c.Data[j*c.LD : j*c.LD+m]
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		for tcol := 0; tcol < k; tcol++ {
+			s := cc[tcol]
+			vc := v.Data[tcol*v.LD : tcol*v.LD+k]
+			for i := tcol + 1; i < k; i++ {
+				s += vc[i] * cc[i]
+			}
+			wc[tcol] = s
+		}
+	}
+	// W += V2ᵀ·C(k:m,:).
+	if m > k {
+		nla.Gemm(true, false, 1, v.View(k, 0, m-k, k), c.View(k, 0, m-k, n), 1, w)
+	}
+	applyT(trans, k, t, w)
+	// C(0:k,:) −= V1·W (unit-lower), C(k:m,:) −= V2·W.
+	for j := 0; j < n; j++ {
+		cc := c.Data[j*c.LD : j*c.LD+m]
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		for tcol := 0; tcol < k; tcol++ {
+			wt := wc[tcol]
+			if wt == 0 {
+				continue
+			}
+			cc[tcol] -= wt
+			vc := v.Data[tcol*v.LD : tcol*v.LD+k]
+			for i := tcol + 1; i < k; i++ {
+				cc[i] -= vc[i] * wt
+			}
+		}
+	}
+	if m > k {
+		nla.Gemm(false, false, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n))
+	}
+}
+
+// applyT overwrites each column w of the k×n workspace with op(T)·w, where
+// T is k×k upper triangular, op(T) = Tᵀ when trans is true (the Qᵀ case).
+func applyT(trans bool, k int, t, w *nla.Matrix) {
+	n := w.Cols
+	for j := 0; j < n; j++ {
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		if trans {
+			// w ← Tᵀ w: w'(i) = Σ_{l ≤ i} T(l,i) w(l); compute top-down in
+			// reverse so original entries survive until read.
+			for i := k - 1; i >= 0; i-- {
+				s := t.Data[i+i*t.LD] * wc[i]
+				for l := 0; l < i; l++ {
+					s += t.Data[l+i*t.LD] * wc[l]
+				}
+				wc[i] = s
+			}
+		} else {
+			// w ← T w: w'(i) = Σ_{l ≥ i} T(i,l) w(l); ascending order keeps
+			// the still-needed entries intact.
+			for i := 0; i < k; i++ {
+				s := t.Data[i+i*t.LD] * wc[i]
+				for l := i + 1; l < k; l++ {
+					s += t.Data[i+l*t.LD] * wc[l]
+				}
+				wc[i] = s
+			}
+		}
+	}
+}
+
+// TSQRT factors the triangle-on-square pair [R; A2] where R = a1 is the n×n
+// upper-triangular tile updated in place and a2 is an m×n dense tile that
+// receives the Householder vector tails. t receives the n×n block reflector
+// factor. The reflectors have an implicit identity top: v_j = [e_j; a2(:,j)].
+func TSQRT(a1, a2, t *nla.Matrix, tau []float64) {
+	n := a1.Cols
+	m := a2.Rows
+	if a1.Rows < n || a2.Cols != n || len(tau) < n || t.Rows < n || t.Cols < n {
+		panic("kernels: TSQRT: shape mismatch")
+	}
+	for j := 0; j < n; j++ {
+		colj := a2.Data[j*a2.LD : j*a2.LD+m]
+		beta, tj := nla.Larfg(a1.Data[j+j*a1.LD], colj)
+		a1.Data[j+j*a1.LD] = beta
+		tau[j] = tj
+		if tj != 0 {
+			for jj := j + 1; jj < n; jj++ {
+				cc := a2.Data[jj*a2.LD : jj*a2.LD+m]
+				w := a1.Data[j+jj*a1.LD] + nla.Dot(colj, cc)
+				w *= tj
+				a1.Data[j+jj*a1.LD] -= w
+				nla.Axpy(-w, colj, cc)
+			}
+		}
+		// T(0:j, j) = -tau_j * T(0:j,0:j) * (A2(:,0:j)ᵀ a2(:,j)): the unit
+		// tops are orthogonal for i < j so only the dense parts contribute.
+		for i := 0; i < j; i++ {
+			t.Data[i+j*t.LD] = nla.Dot(a2.Data[i*a2.LD:i*a2.LD+m], colj)
+		}
+		scaleTriColumn(t, j, -tj)
+		t.Data[j+j*t.LD] = tj
+	}
+}
+
+// scaleTriColumn overwrites t(0:j, j) with alpha * T(0:j,0:j) * t(0:j, j)
+// for upper-triangular T. Entry i reads original entries l ≥ i, so the
+// column is copied once before the triangular product.
+func scaleTriColumn(t *nla.Matrix, j int, alpha float64) {
+	if j == 0 {
+		return
+	}
+	orig := make([]float64, j)
+	for l := 0; l < j; l++ {
+		orig[l] = t.Data[l+j*t.LD]
+	}
+	for i := 0; i < j; i++ {
+		var s float64
+		for l := i; l < j; l++ {
+			s += t.Data[i+l*t.LD] * orig[l]
+		}
+		t.Data[i+j*t.LD] = alpha * s
+	}
+}
+
+// TSMQR applies the TSQRT transformation (k reflectors, vector tails v2,
+// factor t) to the tile pair [C1; C2] from the left: with trans=true it
+// applies Qᵀ (the factorization update), with trans=false it applies Q.
+// Only the first k rows of c1 participate.
+func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+	n := c1.Cols
+	m2 := c2.Rows
+	if c2.Cols != n || v2.Rows != m2 || v2.Cols < k || c1.Rows < k {
+		panic("kernels: TSMQR: shape mismatch")
+	}
+	// The dense V2 block makes this the GEMM-rich kernel of the TS family
+	// (cost 12 in Table I): W = C1(0:k,:) + V2ᵀ·C2; W ← op(T)·W;
+	// C1(0:k,:) −= W; C2 −= V2·W.
+	w := nla.NewMatrix(k, n)
+	vv := v2.View(0, 0, m2, k)
+	c1v := c1.View(0, 0, k, n)
+	nla.CopyInto(w, c1v)
+	nla.Gemm(true, false, 1, vv, c2, 1, w)
+	applyT(trans, k, t, w)
+	for j := 0; j < n; j++ {
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		c1c := c1.Data[j*c1.LD:]
+		for tcol := 0; tcol < k; tcol++ {
+			c1c[tcol] -= wc[tcol]
+		}
+	}
+	nla.Gemm(false, false, -1, vv, w, 1, c2)
+}
+
+// TTQRT factors the triangle-on-triangle pair [R1; R2]: a1 is the k×k upper
+// triangle of the pivot tile, a2 the m2×k upper triangle (or trapezoid when
+// m2 < k) being annihilated; its upper part is overwritten with the vector
+// tails. The reflector for column j only involves rows 0..min(j+1,m2)-1 of
+// a2, which is what makes the TT kernels cheaper than TS (Table I).
+func TTQRT(a1, a2, t *nla.Matrix, tau []float64) {
+	k := a1.Cols
+	m2 := a2.Rows
+	if a2.Cols != k || len(tau) < k || t.Rows < k || t.Cols < k {
+		panic("kernels: TTQRT: shape mismatch")
+	}
+	for j := 0; j < k; j++ {
+		r2 := min(j+1, m2)
+		colj := a2.Data[j*a2.LD : j*a2.LD+r2]
+		beta, tj := nla.Larfg(a1.Data[j+j*a1.LD], colj)
+		a1.Data[j+j*a1.LD] = beta
+		tau[j] = tj
+		if tj != 0 {
+			for jj := j + 1; jj < k; jj++ {
+				cc := a2.Data[jj*a2.LD : jj*a2.LD+r2]
+				w := a1.Data[j+jj*a1.LD] + nla.Dot(colj, cc)
+				w *= tj
+				a1.Data[j+jj*a1.LD] -= w
+				nla.Axpy(-w, colj, cc)
+			}
+		}
+		for i := 0; i < j; i++ {
+			ri := min(i+1, m2)
+			t.Data[i+j*t.LD] = nla.Dot(a2.Data[i*a2.LD:i*a2.LD+ri], a2.Data[j*a2.LD:j*a2.LD+ri])
+		}
+		scaleTriColumn(t, j, -tj)
+		t.Data[j+j*t.LD] = tj
+	}
+}
+
+// TTMQR applies the TTQRT transformation to the tile pair [C1; C2] from the
+// left; v2 holds the upper-trapezoidal vector tails produced by TTQRT.
+// Only the first k rows of c1 participate.
+func TTMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+	n := c1.Cols
+	m2 := c2.Rows
+	if c2.Cols != n || v2.Rows != m2 || v2.Cols < k || c1.Rows < k {
+		panic("kernels: TTMQR: shape mismatch")
+	}
+	w := nla.NewMatrix(k, n)
+	for j := 0; j < n; j++ {
+		c2c := c2.Data[j*c2.LD:]
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		c1c := c1.Data[j*c1.LD:]
+		for tcol := 0; tcol < k; tcol++ {
+			r2 := min(tcol+1, m2)
+			wc[tcol] = c1c[tcol] + nla.Dot(v2.Data[tcol*v2.LD:tcol*v2.LD+r2], c2c[:r2])
+		}
+	}
+	applyT(trans, k, t, w)
+	for j := 0; j < n; j++ {
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		c1c := c1.Data[j*c1.LD:]
+		c2c := c2.Data[j*c2.LD:]
+		for tcol := 0; tcol < k; tcol++ {
+			c1c[tcol] -= wc[tcol]
+			r2 := min(tcol+1, m2)
+			nla.Axpy(-wc[tcol], v2.Data[tcol*v2.LD:tcol*v2.LD+r2], c2c[:r2])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package latms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/jacobi"
+)
+
+func TestSpectrumModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, cond := 8, 100.0
+	for _, mode := range []Mode{OneLarge, OneSmall, Geometric, Arithmetic, RandomLog} {
+		s := Spectrum(rng, mode, n, cond)
+		if len(s) != n {
+			t.Fatalf("mode %d: wrong length", mode)
+		}
+		for i := 1; i < n; i++ {
+			if s[i] > s[i-1]+1e-15 {
+				t.Fatalf("mode %d: spectrum not descending: %v", mode, s)
+			}
+		}
+		if s[0] > 1+1e-15 || s[n-1] < 1/cond-1e-15 {
+			t.Fatalf("mode %d: range violated: %v", mode, s)
+		}
+	}
+}
+
+func TestSpectrumShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Spectrum(rng, OneLarge, 4, 10)
+	if s[0] != 1 || s[1] != 0.1 || s[3] != 0.1 {
+		t.Fatalf("OneLarge wrong: %v", s)
+	}
+	s = Spectrum(rng, OneSmall, 4, 10)
+	if s[0] != 1 || s[2] != 1 || s[3] != 0.1 {
+		t.Fatalf("OneSmall wrong: %v", s)
+	}
+	s = Spectrum(rng, Geometric, 3, 100)
+	if math.Abs(s[1]-0.1) > 1e-14 {
+		t.Fatalf("Geometric midpoint wrong: %v", s)
+	}
+	s = Spectrum(rng, Arithmetic, 3, 2)
+	if math.Abs(s[1]-0.75) > 1e-14 {
+		t.Fatalf("Arithmetic midpoint wrong: %v", s)
+	}
+}
+
+func TestGenerateHasPrescribedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{12, 12}, {20, 8}, {9, 1}} {
+		m, n := dims[0], dims[1]
+		a, sigma := Generate(rng, m, n, Geometric, 1e3)
+		got := jacobi.SingularValues(a)
+		if d := jacobi.MaxRelDiff(got, sigma); d > 1e-12 {
+			t.Errorf("%dx%d: spectrum off by %g", m, n, d)
+		}
+	}
+}
+
+func TestGenerateDense(t *testing.T) {
+	// The random orthogonal mixing must produce a dense matrix, not leave
+	// the diagonal structure visible.
+	rng := rand.New(rand.NewSource(4))
+	a, _ := Generate(rng, 10, 6, Arithmetic, 10)
+	zeros := 0
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 10; i++ {
+			if a.At(i, j) == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros > 0 {
+		t.Fatalf("generated matrix has %d exact zeros; mixing too weak", zeros)
+	}
+}
+
+func TestGenerateRejectsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(5)), 3, 5, Geometric, 10)
+}
+
+func TestBadCondPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Spectrum(rand.New(rand.NewSource(6)), Geometric, 5, 0.5)
+}

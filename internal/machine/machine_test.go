@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/sched"
+)
+
+func TestMirielCalibration(t *testing.T) {
+	m := Miriel()
+	if m.CoresPerNode != 24 {
+		t.Fatalf("miriel has 24 cores per node")
+	}
+	if m.PeakPerCore != 37e9 {
+		t.Fatalf("paper's sequential GEMM rate is 37 GFlop/s")
+	}
+	if m.NetBandwidth != 5e9 {
+		t.Fatalf("40 Gb/s = 5 GB/s")
+	}
+	// The TS/TT efficiency ordering that drives the tree trade-offs.
+	if m.Eff[kernels.TSMQRKind] <= m.Eff[kernels.TTMQRKind] {
+		t.Fatalf("TS kernels must be modeled as more efficient than TT")
+	}
+	if m.Eff[kernels.TSMQRKind] <= m.Eff[kernels.GEQRTKind] {
+		t.Fatalf("updates must be modeled as more efficient than panels")
+	}
+}
+
+func TestTimeOf(t *testing.T) {
+	m := Miriel()
+	g := sched.NewGraph()
+	h := g.NewHandle(1, 0)
+	task := g.AddTask(kernels.TSMQRKind, 0, 12, 37e9*0.78, nil, sched.RW(h))
+	if got := m.TimeOf(task); got < 0.99 || got > 1.01 {
+		t.Fatalf("a task of eff·peak flops should take ~1s, got %v", got)
+	}
+	zero := g.AddTask(kernels.LACPYKind, 0, 0, 0, nil, sched.RW(h))
+	if m.TimeOf(zero) != 0 {
+		t.Fatalf("zero-flop tasks are free")
+	}
+}
+
+func TestDistConfigReserveCore(t *testing.T) {
+	m := Miriel()
+	dc := m.DistConfig(4, true)
+	if dc.WorkersPerNode != 23 || dc.Nodes != 4 {
+		t.Fatalf("reserve-core config wrong: %+v", dc)
+	}
+	dc = m.DistConfig(4, false)
+	if dc.WorkersPerNode != 24 {
+		t.Fatalf("full-core config wrong: %+v", dc)
+	}
+}
+
+func TestBandStageModels(t *testing.T) {
+	m := Miriel()
+	// BND2BD grows with n² and nb; BD2VAL with n².
+	if m.BND2BDTime(20000, 160) <= m.BND2BDTime(10000, 160) {
+		t.Fatalf("BND2BD must grow with n")
+	}
+	if m.BND2BDTime(10000, 320) <= m.BND2BDTime(10000, 160) {
+		t.Fatalf("BND2BD must grow with nb")
+	}
+	if m.GatherBandTime(10000, 160, 1) != 0 {
+		t.Fatalf("no gather on one node")
+	}
+	if m.GatherBandTime(10000, 160, 4) <= 0 {
+		t.Fatalf("gather must cost time on multiple nodes")
+	}
+	if m.BD2VALTime(10000) <= 0 {
+		t.Fatalf("BD2VAL must cost time")
+	}
+}

@@ -1,0 +1,109 @@
+package nla
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGemmAlphaZeroOnlyScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := RandomMatrix(rng, 3, 3)
+	b := RandomMatrix(rng, 3, 3)
+	c := RandomMatrix(rng, 3, 3)
+	want := c.Clone()
+	Gemm(false, false, 0, a, b, 2, c)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			if math.Abs(c.At(i, j)-2*want.At(i, j)) > 1e-15 {
+				t.Fatalf("alpha=0 should only scale C")
+			}
+		}
+	}
+}
+
+func TestGemmEmptyInner(t *testing.T) {
+	a := NewMatrix(3, 0)
+	b := NewMatrix(0, 4)
+	c := NewMatrix(3, 4)
+	c.Set(1, 1, 7)
+	Gemm(false, false, 1, a, b, 0, c)
+	if c.At(1, 1) != 0 {
+		t.Fatalf("beta=0 must clear C even with an empty inner dimension")
+	}
+}
+
+func TestGemmShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Gemm(false, false, 1, NewMatrix(2, 3), NewMatrix(4, 2), 0, NewMatrix(2, 2))
+}
+
+func TestFromColMajorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for short data")
+		}
+	}()
+	FromColMajor(3, 3, 3, make([]float64, 8))
+}
+
+func TestMulPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MulAB(NewMatrix(2, 3), NewMatrix(2, 3)) },
+		func() { MulATB(NewMatrix(2, 3), NewMatrix(3, 3)) },
+		func() { MulABT(NewMatrix(2, 3), NewMatrix(2, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCopyIntoShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	CopyInto(NewMatrix(2, 2), NewMatrix(3, 2))
+}
+
+func TestNegativeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestZeroRespectsViews(t *testing.T) {
+	m := NewMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	m.View(1, 1, 2, 2).Zero()
+	if m.At(0, 0) != 1 || m.At(3, 3) != 1 {
+		t.Fatalf("Zero leaked outside view")
+	}
+	if m.At(1, 1) != 0 || m.At(2, 2) != 0 {
+		t.Fatalf("Zero missed view interior")
+	}
+}
+
+func TestOrthogonalityErrorDetects(t *testing.T) {
+	id := Identity(3)
+	id.Set(0, 1, 0.5)
+	if OrthogonalityError(id) < 0.4 {
+		t.Fatalf("orthogonality violation missed")
+	}
+}

@@ -1,0 +1,108 @@
+package nla
+
+import "math"
+
+// Larfg generates an elementary Householder reflector H of order n = len(x)+1
+// such that
+//
+//	H * [alpha]   [beta]
+//	    [  x  ] = [ 0  ],   H = I - tau * v * vᵀ,  v = [1; x_out],  Hᵀ = H.
+//
+// On return x is overwritten with the tail of v. The routine follows LAPACK
+// dlarfg, including the rescaling loop that protects against underflow when
+// the input column is tiny.
+func Larfg(alpha float64, x []float64) (beta, tau float64) {
+	xnorm := nrm2(x)
+	if xnorm == 0 {
+		// H = I. beta = alpha, tau = 0, v = e1.
+		return alpha, 0
+	}
+	beta = -math.Copysign(lapy2(alpha, xnorm), alpha)
+	const safmin = 0x1p-1022 / (2 * 0x1p-52) // dlamch('S')/dlamch('E'), as in dlarfg
+	knt := 0
+	if math.Abs(beta) < safmin {
+		// xnorm and beta may be inaccurate; scale x and recompute.
+		rsafmn := 1 / safmin
+		for math.Abs(beta) < safmin && knt < 20 {
+			knt++
+			Scal(rsafmn, x)
+			beta *= rsafmn
+			alpha *= rsafmn
+		}
+		xnorm = nrm2(x)
+		beta = -math.Copysign(lapy2(alpha, xnorm), alpha)
+	}
+	tau = (beta - alpha) / beta
+	Scal(1/(alpha-beta), x)
+	for k := 0; k < knt; k++ {
+		beta *= safmin
+	}
+	return beta, tau
+}
+
+// nrm2 returns the Euclidean norm of x with dnrm2-style scaling.
+func nrm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			ssq = 1 + ssq*(scale/av)*(scale/av)
+			scale = av
+		} else {
+			ssq += (av / scale) * (av / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// lapy2 returns sqrt(x²+y²) without unnecessary overflow (dlapy2).
+func lapy2(x, y float64) float64 {
+	ax, ay := math.Abs(x), math.Abs(y)
+	w, z := ax, ay
+	if ay > ax {
+		w, z = ay, ax
+	}
+	if z == 0 {
+		return w
+	}
+	r := z / w
+	return w * math.Sqrt(1+r*r)
+}
+
+// ApplyReflectorLeft overwrites C with H*C where H = I - tau*v*vᵀ and
+// v = [1; vtail]. C must have len(vtail)+1 rows.
+func ApplyReflectorLeft(tau float64, vtail []float64, c *Matrix) {
+	if tau == 0 {
+		return
+	}
+	for j := 0; j < c.Cols; j++ {
+		col := c.Data[j*c.LD : j*c.LD+c.Rows]
+		w := col[0] + Dot(vtail, col[1:])
+		w *= tau
+		col[0] -= w
+		Axpy(-w, vtail, col[1:])
+	}
+}
+
+// ApplyReflectorRight overwrites C with C*H where H = I - tau*v*vᵀ and
+// v = [1; vtail]. C must have len(vtail)+1 columns.
+func ApplyReflectorRight(tau float64, vtail []float64, c *Matrix) {
+	if tau == 0 {
+		return
+	}
+	n := len(vtail)
+	for i := 0; i < c.Rows; i++ {
+		w := c.Data[i]
+		for k := 0; k < n; k++ {
+			w += c.Data[i+(k+1)*c.LD] * vtail[k]
+		}
+		w *= tau
+		c.Data[i] -= w
+		for k := 0; k < n; k++ {
+			c.Data[i+(k+1)*c.LD] -= w * vtail[k]
+		}
+	}
+}

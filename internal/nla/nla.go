@@ -1,0 +1,283 @@
+// Package nla provides the dense numerical linear-algebra primitives the
+// tile kernels are built from: a column-major matrix type, a minimal set of
+// BLAS-like routines, and LAPACK-style Householder reflector generation.
+//
+// Everything in this package follows the LAPACK storage convention:
+// matrices are column-major with an explicit leading dimension, so element
+// (i, j) of a matrix stored in a with leading dimension lda is a[i+j*lda].
+// Using the LAPACK convention keeps the tile kernels in internal/kernels
+// directly comparable with their PLASMA counterparts (CORE_dgeqrt,
+// CORE_dtsqrt, ...), which is what the reproduced paper builds on.
+package nla
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense column-major matrix. Data holds at least LD*Cols
+// elements and LD >= Rows. A Matrix may be a view into a larger allocation.
+type Matrix struct {
+	Rows, Cols int
+	LD         int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed r×c column-major matrix with LD == r.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("nla: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, LD: max(r, 1), Data: make([]float64, max(r, 1)*c)}
+}
+
+// FromColMajor wraps an existing column-major slice without copying.
+func FromColMajor(r, c, ld int, data []float64) *Matrix {
+	if ld < r || len(data) < ld*c {
+		panic("nla: FromColMajor: inconsistent dimensions")
+	}
+	return &Matrix{Rows: r, Cols: c, LD: ld, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i+j*m.LD] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i+j*m.LD] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i+j*m.LD] += v }
+
+// Clone returns a deep copy with a compact leading dimension.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		copy(c.Data[j*c.LD:j*c.LD+m.Rows], m.Data[j*m.LD:j*m.LD+m.Rows])
+	}
+	return c
+}
+
+// View returns a sub-matrix view of r rows and c columns starting at (i, j).
+// The view shares storage with m.
+func (m *Matrix) View(i, j, r, c int) *Matrix {
+	if i < 0 || j < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("nla: View(%d,%d,%d,%d) out of %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	return &Matrix{Rows: r, Cols: c, LD: m.LD, Data: m.Data[i+j*m.LD:]}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			t.Data[j+i*t.LD] = m.Data[i+j*m.LD]
+		}
+	}
+	return t
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	id := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		id.Data[i+i*id.LD] = 1
+	}
+	return id
+}
+
+// Zero clears every element of m (respecting the leading dimension).
+func (m *Matrix) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.LD : j*m.LD+m.Rows]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// CopyInto copies src into dst; panics if shapes differ.
+func CopyInto(dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("nla: CopyInto: shape mismatch")
+	}
+	for j := 0; j < src.Cols; j++ {
+		copy(dst.Data[j*dst.LD:j*dst.LD+src.Rows], src.Data[j*src.LD:j*src.LD+src.Rows])
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	// Two-pass scaled sum to avoid overflow, mirroring dlange('F').
+	scale, ssq := 0.0, 1.0
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			v := math.Abs(m.Data[i+j*m.LD])
+			if v == 0 {
+				continue
+			}
+			if scale < v {
+				ssq = 1 + ssq*(scale/v)*(scale/v)
+				scale = v
+			} else {
+				ssq += (v / scale) * (v / scale)
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns the largest absolute element of m.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if v := math.Abs(m.Data[i+j*m.LD]); v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx
+}
+
+// MulAB computes C = A*B for freshly allocated C.
+func MulAB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic("nla: MulAB: inner dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	Gemm(false, false, 1, a, b, 0, c)
+	return c
+}
+
+// MulATB computes C = Aᵀ*B for freshly allocated C.
+func MulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("nla: MulATB: inner dimension mismatch")
+	}
+	c := NewMatrix(a.Cols, b.Cols)
+	Gemm(true, false, 1, a, b, 0, c)
+	return c
+}
+
+// MulABT computes C = A*Bᵀ for freshly allocated C.
+func MulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("nla: MulABT: inner dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	Gemm(false, true, 1, a, b, 0, c)
+	return c
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is the identity or
+// the transpose according to transA/transB. Loop order is chosen so the
+// innermost loop is stride-1 over columns of C and A.
+func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	am, ak := a.Rows, a.Cols
+	if transA {
+		am, ak = a.Cols, a.Rows
+	}
+	bk, bn := b.Rows, b.Cols
+	if transB {
+		bk, bn = b.Cols, b.Rows
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("nla: Gemm: shape mismatch (%dx%d)*(%dx%d) -> %dx%d", am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for j := 0; j < bn; j++ {
+			col := c.Data[j*c.LD : j*c.LD+am]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || ak == 0 {
+		return
+	}
+	switch {
+	case !transA && !transB:
+		for j := 0; j < bn; j++ {
+			cc := c.Data[j*c.LD : j*c.LD+am]
+			for k := 0; k < ak; k++ {
+				t := alpha * b.Data[k+j*b.LD]
+				if t == 0 {
+					continue
+				}
+				ac := a.Data[k*a.LD : k*a.LD+am]
+				for i, av := range ac {
+					cc[i] += t * av
+				}
+			}
+		}
+	case transA && !transB:
+		for j := 0; j < bn; j++ {
+			bc := b.Data[j*b.LD : j*b.LD+ak]
+			for i := 0; i < am; i++ {
+				ac := a.Data[i*a.LD : i*a.LD+ak]
+				var s float64
+				for k, bv := range bc {
+					s += ac[k] * bv
+				}
+				c.Data[i+j*c.LD] += alpha * s
+			}
+		}
+	case !transA && transB:
+		for k := 0; k < ak; k++ {
+			ac := a.Data[k*a.LD : k*a.LD+am]
+			for j := 0; j < bn; j++ {
+				t := alpha * b.Data[j+k*b.LD]
+				if t == 0 {
+					continue
+				}
+				cc := c.Data[j*c.LD : j*c.LD+am]
+				for i, av := range ac {
+					cc[i] += t * av
+				}
+			}
+		}
+	default: // transA && transB
+		for j := 0; j < bn; j++ {
+			for i := 0; i < am; i++ {
+				var s float64
+				for k := 0; k < ak; k++ {
+					s += a.Data[k+i*a.LD] * b.Data[j+k*b.LD]
+				}
+				c.Data[i+j*c.LD] += alpha * s
+			}
+		}
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}

@@ -1,0 +1,51 @@
+package nla
+
+import "math/rand"
+
+// RandomMatrix returns an r×c matrix with i.i.d. entries uniform on [-1, 1).
+func RandomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			m.Data[i+j*m.LD] = 2*rng.Float64() - 1
+		}
+	}
+	return m
+}
+
+// ApplyRandomOrthogonalLeft overwrites A with Q*A for a random orthogonal Q
+// built as a product of k Householder reflectors. It never forms Q.
+func ApplyRandomOrthogonalLeft(rng *rand.Rand, k int, a *Matrix) {
+	for r := 0; r < k; r++ {
+		v := make([]float64, a.Rows-1)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+		_, tau := Larfg(alpha, v)
+		ApplyReflectorLeft(tau, v, a)
+	}
+}
+
+// ApplyRandomOrthogonalRight overwrites A with A*Q for a random orthogonal Q
+// built as a product of k Householder reflectors.
+func ApplyRandomOrthogonalRight(rng *rand.Rand, k int, a *Matrix) {
+	for r := 0; r < k; r++ {
+		v := make([]float64, a.Cols-1)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+		_, tau := Larfg(alpha, v)
+		ApplyReflectorRight(tau, v, a)
+	}
+}
+
+// OrthogonalityError returns ‖QᵀQ - I‖_max, a cheap orthogonality check.
+func OrthogonalityError(q *Matrix) float64 {
+	g := MulATB(q, q)
+	for i := 0; i < g.Rows && i < g.Cols; i++ {
+		g.Data[i+i*g.LD] -= 1
+	}
+	return g.MaxAbs()
+}

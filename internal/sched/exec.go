@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// RunSequential executes every task in submission order, which is a valid
+// schedule by construction. It is the numerical reference all parallel
+// executions are compared against.
+func (g *Graph) RunSequential() {
+	for _, t := range g.Tasks {
+		if t.Run != nil {
+			t.Run()
+		}
+	}
+}
+
+// RunParallel executes the graph on a pool of `workers` goroutines,
+// dispatching ready tasks in order of decreasing bottom-level priority
+// (ties broken by submission order). The data dependencies guarantee that
+// the floating-point result is identical to RunSequential: every pair of
+// conflicting accesses to a handle is ordered by an edge, so each datum
+// sees the same sequence of kernels regardless of the schedule.
+func (g *Graph) RunParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	g.resetExecState()
+	g.ComputeBottomLevels(WeightTime)
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     taskHeap
+		remaining = len(g.Tasks)
+	)
+	for _, t := range g.Tasks {
+		if t.npred == 0 {
+			ready = append(ready, t)
+		}
+	}
+	heap.Init(&ready)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && remaining > 0 {
+					cond.Wait()
+				}
+				if remaining == 0 {
+					mu.Unlock()
+					return
+				}
+				t := heap.Pop(&ready).(*Task)
+				mu.Unlock()
+
+				if t.Run != nil {
+					t.Run()
+				}
+
+				mu.Lock()
+				remaining--
+				for _, s := range t.succs {
+					s.npred--
+					if s.npred == 0 {
+						heap.Push(&ready, s)
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WeightTime values a task at its Table I weight; it is the default
+// duration function for critical-path analysis.
+func WeightTime(t *Task) float64 { return t.Weight }
+
+// FlopsTime values a task at its modeled flop count.
+func FlopsTime(t *Task) float64 { return t.Flops }
+
+// ComputeBottomLevels assigns each task its bottom level — the length of
+// the longest downstream path including itself — under the given duration
+// function, and returns the overall maximum, i.e. the critical path of the
+// DAG on unbounded resources.
+func (g *Graph) ComputeBottomLevels(timeOf func(*Task) float64) float64 {
+	cp := 0.0
+	for i := len(g.Tasks) - 1; i >= 0; i-- {
+		t := g.Tasks[i]
+		mx := 0.0
+		for _, s := range t.succs {
+			if s.prio > mx {
+				mx = s.prio
+			}
+		}
+		t.prio = mx + timeOf(t)
+		if t.prio > cp {
+			cp = t.prio
+		}
+	}
+	return cp
+}
+
+// CriticalPath returns the longest weighted path through the DAG, the
+// execution time on unbounded resources with zero communication cost.
+// This is the quantity tabulated in Section IV of the paper.
+func (g *Graph) CriticalPath(timeOf func(*Task) float64) float64 {
+	return g.ComputeBottomLevels(timeOf)
+}
+
+// SimResult reports a virtual-time simulation.
+type SimResult struct {
+	Makespan    float64
+	BusyTime    float64 // Σ task durations actually scheduled
+	Utilization float64 // BusyTime / (workers × Makespan)
+	Tasks       int
+}
+
+// SimulateFixed performs event-driven list scheduling of the DAG on
+// `workers` identical virtual cores: whenever a core is free, the ready
+// task with the greatest bottom-level priority starts. It returns the
+// makespan in the units of timeOf. With workers → ∞ the makespan equals
+// CriticalPath.
+func (g *Graph) SimulateFixed(workers int, timeOf func(*Task) float64) SimResult {
+	if workers < 1 {
+		workers = 1
+	}
+	g.resetExecState()
+	g.ComputeBottomLevels(timeOf)
+
+	var ready taskHeap
+	for _, t := range g.Tasks {
+		if t.npred == 0 {
+			ready = append(ready, t)
+		}
+	}
+	heap.Init(&ready)
+
+	var running eventHeap
+	free := workers
+	now := 0.0
+	busy := 0.0
+	done := 0
+	for done < len(g.Tasks) {
+		for free > 0 && len(ready) > 0 {
+			t := heap.Pop(&ready).(*Task)
+			d := timeOf(t)
+			busy += d
+			heap.Push(&running, event{at: now + d, task: t})
+			free--
+		}
+		if len(running) == 0 {
+			break // defensive: no runnable work (should not happen on a DAG)
+		}
+		ev := heap.Pop(&running).(event)
+		now = ev.at
+		free++
+		done++
+		for _, s := range ev.task.succs {
+			s.npred--
+			if s.npred == 0 {
+				heap.Push(&ready, s)
+			}
+		}
+	}
+	util := 0.0
+	if now > 0 {
+		util = busy / (float64(workers) * now)
+	}
+	return SimResult{Makespan: now, BusyTime: busy, Utilization: util, Tasks: done}
+}
+
+// taskHeap is a max-heap on (prio, -ID): higher bottom level first, earlier
+// submission breaking ties for determinism.
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].ID < h[j].ID
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+type event struct {
+	at   float64
+	task *Task
+}
+
+// eventHeap is a min-heap on completion time, ties broken by task ID.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].task.ID < h[j].task.ID
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

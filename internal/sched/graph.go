@@ -1,0 +1,221 @@
+// Package sched is the data-flow runtime underneath the tiled algorithms.
+// It plays the role PaRSEC plays for DPLASMA in the reproduced paper: an
+// algorithm is submitted as a sequence of tasks with declared data
+// accesses, dependencies are inferred superscalar-style (RAW, WAR, WAW) at
+// sub-tile granularity, and the resulting DAG can be executed or analyzed
+// by several engines:
+//
+//   - RunSequential: program order, the numerical reference.
+//   - RunParallel:   a goroutine worker pool with priority scheduling.
+//   - CriticalPath:  longest weighted path (unbounded resources), used to
+//     validate the paper's Section IV formulas.
+//   - SimulateFixed: event-driven list scheduling on P virtual cores.
+//   - SimulateDistributed: multi-node list scheduling with a bandwidth/
+//     latency communication model (see simdist.go).
+//
+// Tasks are deliberately compact (a few pointers and scalars) so that
+// graphs with tens of millions of tasks — the paper's largest distributed
+// runs — fit in memory when simulated without data.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/tiled-la/bidiag/internal/kernels"
+)
+
+// Handle identifies one unit of data for dependency inference — typically
+// one region (diagonal block, strict lower, strict upper) of one tile.
+// The zero Owner means node 0; Bytes sizes communication in the
+// distributed simulator.
+type Handle struct {
+	Bytes      int32
+	Owner      int32
+	lastWriter *Task
+	readers    []*Task
+}
+
+// Task is one kernel invocation in the DAG.
+type Task struct {
+	ID      int32
+	Kind    kernels.Kind
+	Node    int32 // owning node for distributed execution; 0 in shared memory
+	I, J, K int32 // tile coordinates (i, j, step) for tracing
+
+	Weight float64 // Table I cost in nb³/3 units (critical-path analysis)
+	Flops  float64 // modeled flop count (machine-model simulation)
+	Run    func()  // real execution closure; nil in simulation-only graphs
+
+	succs     []*Task
+	succBytes []int32 // data carried by each edge (0 for anti-dependencies)
+	npred     int32
+
+	prio      float64 // bottom level; larger = more critical
+	readyTime float64 // scratch used by the simulators
+}
+
+// Name returns a human-readable task label.
+func (t *Task) Name() string {
+	return fmt.Sprintf("%s(%d,%d|k=%d)", t.Kind, t.I, t.J, t.K)
+}
+
+// Graph accumulates tasks in program order. Submission order is a valid
+// topological order by construction: inferred edges always point from an
+// earlier task to a later one.
+type Graph struct {
+	Tasks   []*Task
+	handles []*Handle
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NewHandle registers a datum of the given size owned by the given node.
+func (g *Graph) NewHandle(bytes, owner int32) *Handle {
+	h := &Handle{Bytes: bytes, Owner: owner}
+	g.handles = append(g.handles, h)
+	return h
+}
+
+// Access pairs a handle with an access mode at task submission.
+type Access struct {
+	H    *Handle
+	Mode AccessMode
+}
+
+// AccessMode describes how a task touches a handle.
+type AccessMode int
+
+const (
+	// Read: the task consumes the current value (RAW edge from the last
+	// writer, carrying data).
+	Read AccessMode = iota
+	// ReadWrite: the task updates the value in place (RAW edge from the
+	// last writer carrying data, WAR edges from readers).
+	ReadWrite
+	// WriteOnly: the task overwrites the value without reading it (WAW and
+	// WAR ordering edges, but no data transfer).
+	WriteOnly
+)
+
+// R, RW and W are convenience constructors for Access values.
+func R(h *Handle) Access  { return Access{H: h, Mode: Read} }
+func RW(h *Handle) Access { return Access{H: h, Mode: ReadWrite} }
+func W(h *Handle) Access  { return Access{H: h, Mode: WriteOnly} }
+
+// AddTask appends a task touching the given handles and infers its
+// dependencies. node selects the owner for distributed simulation.
+func (g *Graph) AddTask(kind kernels.Kind, node int32, weight, flops float64, run func(), accesses ...Access) *Task {
+	t := &Task{
+		ID:     int32(len(g.Tasks)),
+		Kind:   kind,
+		Node:   node,
+		Weight: weight,
+		Flops:  flops,
+		Run:    run,
+	}
+	for _, a := range accesses {
+		h := a.H
+		switch a.Mode {
+		case Read:
+			g.addEdge(h.lastWriter, t, h.Bytes)
+			h.readers = append(h.readers, t)
+		case ReadWrite:
+			g.addEdge(h.lastWriter, t, h.Bytes)
+			for _, r := range h.readers {
+				g.addEdge(r, t, 0)
+			}
+			h.lastWriter = t
+			h.readers = h.readers[:0]
+		case WriteOnly:
+			g.addEdge(h.lastWriter, t, 0)
+			for _, r := range h.readers {
+				g.addEdge(r, t, 0)
+			}
+			h.lastWriter = t
+			h.readers = h.readers[:0]
+		}
+	}
+	g.Tasks = append(g.Tasks, t)
+	return t
+}
+
+// SetCoords attaches tile coordinates to the most recently added task for
+// tracing; it returns the task for chaining.
+func (t *Task) SetCoords(i, j, k int) *Task {
+	t.I, t.J, t.K = int32(i), int32(j), int32(k)
+	return t
+}
+
+func (g *Graph) addEdge(from, to *Task, bytes int32) {
+	if from == nil || from == to {
+		return
+	}
+	// Cheap duplicate suppression: repeated consecutive edges are common
+	// (a task reading several regions last written by the same producer).
+	if n := len(from.succs); n > 0 && from.succs[n-1] == to {
+		if bytes > from.succBytes[n-1] {
+			from.succBytes[n-1] = bytes
+		}
+		return
+	}
+	from.succs = append(from.succs, to)
+	from.succBytes = append(from.succBytes, bytes)
+	to.npred++
+}
+
+// resetExecState restores per-task predecessor counters so that a graph
+// may be executed or simulated multiple times.
+func (g *Graph) resetExecState() {
+	for _, t := range g.Tasks {
+		t.readyTime = 0
+		t.npred = 0
+	}
+	for _, t := range g.Tasks {
+		for _, s := range t.succs {
+			s.npred++
+		}
+	}
+}
+
+// Stats summarizes a graph.
+type Stats struct {
+	Tasks       int
+	Edges       int
+	TotalWeight float64
+	TotalFlops  float64
+	PerKind     map[kernels.Kind]int
+}
+
+// Summary computes aggregate statistics of the DAG.
+func (g *Graph) Summary() Stats {
+	s := Stats{Tasks: len(g.Tasks), PerKind: map[kernels.Kind]int{}}
+	for _, t := range g.Tasks {
+		s.Edges += len(t.succs)
+		s.TotalWeight += t.Weight
+		s.TotalFlops += t.Flops
+		s.PerKind[t.Kind]++
+	}
+	return s
+}
+
+// CheckAcyclic verifies that every edge points forward in submission
+// order, which guarantees acyclicity. It exists as an executable sanity
+// check for tests; the property holds by construction.
+func (g *Graph) CheckAcyclic() error {
+	for _, t := range g.Tasks {
+		for _, s := range t.succs {
+			if s.ID <= t.ID {
+				return fmt.Errorf("sched: backward edge %d -> %d", t.ID, s.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Prio returns the task's bottom level as computed by the most recent
+// ComputeBottomLevels call.
+func (t *Task) Prio() float64 { return t.prio }
+
+// Succs returns the task's successor list (read-only use).
+func (t *Task) Succs() []*Task { return t.succs }

@@ -1,0 +1,98 @@
+package trees
+
+import "container/heap"
+
+// PipelinedGreedyQR returns a per-column elimination order for the tiled
+// QR factorization of a p×q tile matrix that pipelines across columns, in
+// the spirit of the GREEDY algorithm of Bouwmeester, Jacquelin, Langou and
+// Robert (SC'11) used by the paper for the QR phase of R-BIDIAG.
+//
+// Unlike the per-panel binomial tree — which is optimal for the
+// non-overlapping steps of BIDIAG — the multi-panel QR factorization
+// benefits from eliminating rows as soon as their tiles are up to date
+// with respect to the previous column. The order is derived from an
+// internal forward simulation with Table I weights (GEQRT 4, UNMQR 6,
+// TTQRT 2, TTMQR 6): at every instant the two ready rows that can start
+// earliest are paired, the smaller index surviving as the pivot.
+//
+// The result is indexed by column k and is a valid elimination order over
+// rows k..p−1 (all TT kernels).
+func PipelinedGreedyQR(p, q int) [][]Op {
+	kmax := min(p, q)
+	orders := make([][]Op, kmax)
+	// upTo[i][j] = virtual time tile (i, j) is up to date.
+	upTo := make([][]float64, p)
+	for i := range upTo {
+		upTo[i] = make([]float64, q)
+	}
+	for k := 0; k < kmax; k++ {
+		// Triangularize every row of the panel and apply its update.
+		tri := make([]float64, p)
+		for i := k; i < p; i++ {
+			tri[i] = upTo[i][k] + 4 // GEQRT
+			for j := k + 1; j < q; j++ {
+				upTo[i][j] = max(tri[i], upTo[i][j]) + 6 // UNMQR
+			}
+		}
+		// Greedy pairing by earliest possible start.
+		h := &readyHeap{}
+		for i := k; i < p; i++ {
+			heap.Push(h, readyRow{row: i, at: tri[i]})
+		}
+		var ops []Op
+		for h.Len() > 1 {
+			a := heap.Pop(h).(readyRow)
+			b := heap.Pop(h).(readyRow)
+			piv, row := a.row, b.row
+			if piv > row {
+				piv, row = row, piv
+			}
+			done := max(a.at, b.at) + 2 // TTQRT
+			ops = append(ops, Op{Piv: piv, Row: row, TT: true})
+			// The pivot's next pairing is limited not by the TTQRT chain
+			// (+2) but by the TTMQR serialization on its trailing tiles
+			// (+6 each): re-enter it at its update-completion time, which
+			// keeps the generated trees balanced instead of letting one
+			// early winner devour every row that becomes ready.
+			reenter := done
+			for j := k + 1; j < q; j++ {
+				t := max(done, max(upTo[piv][j], upTo[row][j])) + 6 // TTMQR
+				upTo[piv][j] = t
+				upTo[row][j] = t
+				if t > reenter {
+					reenter = t
+				}
+			}
+			heap.Push(h, readyRow{row: piv, at: reenter})
+		}
+		orders[k] = ops
+	}
+	return orders
+}
+
+type readyRow struct {
+	row int
+	at  float64
+}
+
+// readyHeap orders rows by availability time, breaking ties by the larger
+// index so that bottom rows are consumed first (keeping small indices
+// alive as long-lived pivots).
+type readyHeap []readyRow
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].row > h[j].row
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyRow)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}

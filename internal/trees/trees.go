@@ -1,0 +1,312 @@
+// Package trees generates the elimination orders (reduction trees) used by
+// the tiled QR, LQ and bidiagonalization algorithms: FLATTS, FLATTT,
+// GREEDY (the binomial tree of the paper's §V), FIBONACCI and BINARY trees
+// for the distributed level, the grouped FLATTS+GREEDY composition of the
+// hierarchical HQR framework, and the adaptive AUTO tree.
+//
+// A tree is a sequence of Op values over a panel's tile-row indices.
+// rows[0] is always the final pivot: after all operations it holds the R
+// factor of the panel. The actual parallelism of a tree is discovered by
+// the data-flow runtime from task dependencies; the order in which Op
+// values appear only needs to be *a* valid sequential schedule.
+package trees
+
+import "fmt"
+
+// Op is one tile elimination inside a panel: tile row Row is annihilated
+// against tile row Piv. TT selects the triangle-on-triangle kernel pair
+// (TTQRT/TTMQR); otherwise the triangle-on-square pair (TSQRT/TSMQR) is
+// used and Row's tile must still be dense.
+type Op struct {
+	Piv, Row int
+	TT       bool
+}
+
+// Kind selects a reduction tree for the shared-memory algorithms.
+type Kind int
+
+const (
+	// FlatTS eliminates every row into the panel pivot with TS kernels,
+	// sequentially. Highest kernel efficiency, least parallelism.
+	FlatTS Kind = iota
+	// FlatTT is the same elimination order with TT kernels: each row is
+	// triangularized first, enabling update parallelism.
+	FlatTT
+	// Greedy is the binomial tree of §V: it reduces a panel in ⌈log₂ u⌉
+	// rounds of TT eliminations, the minimum possible.
+	Greedy
+	// Auto is the adaptive tree of §V: FLATTS groups whose size is chosen
+	// each step so that enough parallel tasks exist to feed all cores,
+	// chained by a Greedy TT tree.
+	Auto
+	// Fibonacci is the classic Fibonacci elimination scheme, used as the
+	// default high-level distributed tree for square matrices.
+	Fibonacci
+	// Binary is a binary tree with pairings at power-of-two distances.
+	Binary
+)
+
+var kindNames = [...]string{"FlatTS", "FlatTT", "Greedy", "Auto", "Fibonacci", "Binary"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind converts a user-facing tree name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trees: unknown tree kind %q", s)
+}
+
+// Flat returns the flat-tree elimination order of rows[1:] into rows[0],
+// with TS or TT kernels.
+func Flat(rows []int, tt bool) []Op {
+	ops := make([]Op, 0, len(rows)-1)
+	for _, r := range rows[1:] {
+		ops = append(ops, Op{Piv: rows[0], Row: r, TT: tt})
+	}
+	return ops
+}
+
+// Binomial returns the greedy binomial-tree order: adjacent survivors are
+// paired in rounds, so the panel reduces in ⌈log₂ len(rows)⌉ rounds of TT
+// eliminations.
+func Binomial(rows []int) []Op {
+	ops := make([]Op, 0, len(rows)-1)
+	alive := append([]int(nil), rows...)
+	for len(alive) > 1 {
+		var next []int
+		for t := 0; t < len(alive); t += 2 {
+			if t+1 < len(alive) {
+				ops = append(ops, Op{Piv: alive[t], Row: alive[t+1], TT: true})
+			}
+			next = append(next, alive[t])
+		}
+		alive = next
+	}
+	return ops
+}
+
+// BinaryTree pairs rows at power-of-two distances: row i is eliminated into
+// row i−2ʳ at round r when i is an odd multiple of 2ʳ.
+func BinaryTree(rows []int) []Op {
+	n := len(rows)
+	var ops []Op
+	for dist := 1; dist < n; dist *= 2 {
+		for i := dist; i < n; i += 2 * dist {
+			ops = append(ops, Op{Piv: rows[i-dist], Row: rows[i], TT: true})
+		}
+	}
+	return ops
+}
+
+// FibonacciTree returns the Fibonacci elimination scheme: a round-based
+// simulation where a pivot that eliminated a row in round t cools down for
+// one round before it can serve again. The number of eliminations per round
+// then grows like the Fibonacci sequence, giving depth ≈ log_φ(len(rows)).
+// It trades a longer single-panel depth than Greedy for better pipelining
+// across panels, which is why the HQR framework uses it as the default
+// high-level distributed tree on square matrices.
+func FibonacciTree(rows []int) []Op {
+	var ops []Op
+	alive := append([]int(nil), rows...)
+	cooldown := map[int]bool{}
+	for len(alive) > 1 {
+		nextCooldown := map[int]bool{}
+		// Pair from the bottom: each alive row may be eliminated into the
+		// nearest alive row above it, provided that pivot is not cooling
+		// down and has not been used this round.
+		used := map[int]bool{}
+		var eliminated []int
+		for idx := len(alive) - 1; idx >= 1; idx-- {
+			piv := alive[idx-1]
+			row := alive[idx]
+			if cooldown[piv] || used[piv] || used[row] {
+				continue
+			}
+			ops = append(ops, Op{Piv: piv, Row: row, TT: true})
+			used[piv] = true
+			used[row] = true
+			eliminated = append(eliminated, row)
+			nextCooldown[piv] = true
+		}
+		if len(eliminated) == 0 {
+			// Everything is cooling down; advance one round.
+			cooldown = map[int]bool{}
+			continue
+		}
+		dead := map[int]bool{}
+		for _, r := range eliminated {
+			dead[r] = true
+		}
+		var next []int
+		for _, r := range alive {
+			if !dead[r] {
+				next = append(next, r)
+			}
+		}
+		alive = next
+		cooldown = nextCooldown
+	}
+	return ops
+}
+
+// Grouped partitions rows into consecutive groups of size a. Inside each
+// group the rows are TS-eliminated into the group leader (a FLATTS tree);
+// the leaders are then reduced by the binomial TT tree. This is the local
+// tree of the HQR framework (a = 4 by default) and the building block of
+// the AUTO tree.
+func Grouped(rows []int, a int) []Op {
+	if a < 1 {
+		a = 1
+	}
+	var ops []Op
+	var leaders []int
+	for g := 0; g < len(rows); g += a {
+		end := min(g+a, len(rows))
+		leaders = append(leaders, rows[g])
+		for _, r := range rows[g+1 : end] {
+			ops = append(ops, Op{Piv: rows[g], Row: r, TT: false})
+		}
+	}
+	ops = append(ops, Binomial(leaders)...)
+	return ops
+}
+
+// AutoGroupSize returns the FLATTS group size a chosen by the AUTO tree at
+// a step whose panel has u tile rows and whose trailing update has v tile
+// columns: the largest a such that ceil(u/a)·v ≥ gamma·cores, so the step
+// exposes at least gamma tasks per core (γ = 2 in the paper). When even
+// a = 1 cannot reach the target the finest grain is used.
+func AutoGroupSize(u, v, gamma, cores int) int {
+	if u <= 1 {
+		return 1
+	}
+	target := gamma * cores
+	if v < 1 {
+		v = 1
+	}
+	for a := u; a >= 1; a-- {
+		if ((u+a-1)/a)*v >= target {
+			return a
+		}
+	}
+	return 1
+}
+
+// AutoTree builds the AUTO elimination order for a panel of the given rows
+// within a step that has v trailing tile columns.
+func AutoTree(rows []int, v, gamma, cores int) []Op {
+	a := AutoGroupSize(len(rows), v, gamma, cores)
+	return Grouped(rows, a)
+}
+
+// Order returns the elimination order of a single panel for tree kind k.
+// v is the number of trailing tile columns of the step (used by Auto) and
+// cores the core count Auto adapts to.
+func Order(k Kind, rows []int, v, gamma, cores int) []Op {
+	if len(rows) <= 1 {
+		return nil
+	}
+	switch k {
+	case FlatTS:
+		return Flat(rows, false)
+	case FlatTT:
+		return Flat(rows, true)
+	case Greedy:
+		return Binomial(rows)
+	case Auto:
+		return AutoTree(rows, v, gamma, cores)
+	case Fibonacci:
+		return FibonacciTree(rows)
+	case Binary:
+		return BinaryTree(rows)
+	default:
+		panic(fmt.Sprintf("trees: unknown kind %v", k))
+	}
+}
+
+// Hierarchical composes a distributed reduction: rowsByNode lists, for each
+// node that owns rows of the panel, the tile rows it holds (each list
+// ascending; the first non-empty list's head becomes the global pivot).
+// local builds each node's internal tree; its final pivot is the node
+// leader. high reduces the node leaders across the machine with TT kernels.
+func Hierarchical(rowsByNode [][]int, local func([]int) []Op, high func([]int) []Op) []Op {
+	var ops []Op
+	var leaders []int
+	for _, rows := range rowsByNode {
+		if len(rows) == 0 {
+			continue
+		}
+		leaders = append(leaders, rows[0])
+		if len(rows) > 1 {
+			ops = append(ops, local(rows)...)
+		}
+	}
+	if len(leaders) > 1 {
+		ops = append(ops, high(leaders)...)
+	}
+	return ops
+}
+
+// Validate checks that ops is a legal elimination order for the given rows:
+// every row except rows[0] is eliminated exactly once, pivots are alive at
+// use, and no eliminated row is used again. It returns an error describing
+// the first violation.
+func Validate(rows []int, ops []Op) error {
+	alive := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		alive[r] = true
+	}
+	for i, op := range ops {
+		if op.Piv == op.Row {
+			return fmt.Errorf("op %d: self-elimination of row %d", i, op.Row)
+		}
+		if !alive[op.Piv] {
+			return fmt.Errorf("op %d: pivot %d is not alive", i, op.Piv)
+		}
+		if !alive[op.Row] {
+			return fmt.Errorf("op %d: row %d is not alive", i, op.Row)
+		}
+		alive[op.Row] = false
+	}
+	count := 0
+	for _, r := range rows {
+		if alive[r] {
+			count++
+			if r != rows[0] {
+				return fmt.Errorf("row %d was never eliminated", r)
+			}
+		}
+	}
+	if count != 1 {
+		return fmt.Errorf("expected exactly one survivor, got %d", count)
+	}
+	return nil
+}
+
+// Depth returns the minimum number of rounds needed to execute ops when
+// each round may run any set of eliminations whose pivots and rows are
+// distinct and whose operands are final (a row's round must follow every
+// earlier op touching its operands). It is the unit-cost critical path of
+// the reduction and is used to sanity-check tree shapes.
+func Depth(ops []Op) int {
+	ready := map[int]int{}
+	depth := 0
+	for _, op := range ops {
+		r := max(ready[op.Piv], ready[op.Row]) + 1
+		ready[op.Piv] = r
+		ready[op.Row] = r
+		if r > depth {
+			depth = r
+		}
+	}
+	return depth
+}

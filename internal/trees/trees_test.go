@@ -1,0 +1,297 @@
+package trees
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+func TestFlatValid(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 16} {
+		for _, tt := range []bool{false, true} {
+			ops := Flat(seq(n), tt)
+			if err := Validate(seq(n), ops); err != nil {
+				t.Fatalf("Flat(%d, tt=%v): %v", n, tt, err)
+			}
+			if len(ops) != n-1 {
+				t.Fatalf("Flat(%d): %d ops", n, len(ops))
+			}
+			for _, op := range ops {
+				if op.Piv != 0 || op.TT != tt {
+					t.Fatalf("Flat op should pivot on row 0 with tt=%v", tt)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatDepthLinear(t *testing.T) {
+	if d := Depth(Flat(seq(9), false)); d != 8 {
+		t.Fatalf("flat depth = %d, want 8", d)
+	}
+}
+
+func TestBinomialValidAndLogDepth(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 13, 16, 31, 64, 100} {
+		ops := Binomial(seq(n))
+		if err := Validate(seq(n), ops); err != nil {
+			t.Fatalf("Binomial(%d): %v", n, err)
+		}
+		want := int(math.Ceil(math.Log2(float64(n))))
+		if d := Depth(ops); d != want {
+			t.Fatalf("Binomial(%d): depth %d, want ⌈log₂⌉ = %d", n, d, want)
+		}
+	}
+}
+
+func TestBinomialAllTT(t *testing.T) {
+	for _, op := range Binomial(seq(10)) {
+		if !op.TT {
+			t.Fatalf("binomial must use TT kernels")
+		}
+	}
+}
+
+func TestBinaryTreeValid(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 17, 32} {
+		ops := BinaryTree(seq(n))
+		if err := Validate(seq(n), ops); err != nil {
+			t.Fatalf("BinaryTree(%d): %v", n, err)
+		}
+		want := int(math.Ceil(math.Log2(float64(n))))
+		if d := Depth(ops); d != want {
+			t.Fatalf("BinaryTree(%d): depth %d, want %d", n, d, want)
+		}
+	}
+}
+
+func TestFibonacciValid(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 21, 50, 100} {
+		ops := FibonacciTree(seq(n))
+		if err := Validate(seq(n), ops); err != nil {
+			t.Fatalf("Fibonacci(%d): %v", n, err)
+		}
+	}
+}
+
+func TestFibonacciDepthBetweenGreedyAndFlat(t *testing.T) {
+	for _, n := range []int{8, 21, 55, 100} {
+		df := Depth(FibonacciTree(seq(n)))
+		dg := Depth(Binomial(seq(n)))
+		if df < dg {
+			t.Fatalf("n=%d: fibonacci depth %d shallower than binomial %d", n, df, dg)
+		}
+		if df >= n-1 && n > 3 {
+			t.Fatalf("n=%d: fibonacci depth %d as bad as flat", n, df)
+		}
+		// Depth should be Θ(log_φ n): allow a wide constant.
+		bound := int(3*math.Log(float64(n))/math.Log(1.618)) + 3
+		if df > bound {
+			t.Fatalf("n=%d: fibonacci depth %d exceeds %d", n, df, bound)
+		}
+	}
+}
+
+func TestGroupedValid(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 16, 33} {
+		for _, a := range []int{1, 2, 4, 7, 100} {
+			ops := Grouped(seq(n), a)
+			if err := Validate(seq(n), ops); err != nil {
+				t.Fatalf("Grouped(%d, a=%d): %v", n, a, err)
+			}
+		}
+	}
+}
+
+func TestGroupedKernelMix(t *testing.T) {
+	ops := Grouped(seq(12), 4)
+	ts, tt := 0, 0
+	for _, op := range ops {
+		if op.TT {
+			tt++
+		} else {
+			ts++
+		}
+	}
+	// 3 groups of 4: 9 TS eliminations, then a binomial over 3 leaders: 2 TT.
+	if ts != 9 || tt != 2 {
+		t.Fatalf("Grouped(12,4): ts=%d tt=%d, want 9/2", ts, tt)
+	}
+}
+
+func TestGroupedA1IsPureBinomial(t *testing.T) {
+	got := Grouped(seq(9), 1)
+	want := Binomial(seq(9))
+	if len(got) != len(want) {
+		t.Fatalf("Grouped(a=1) should equal Binomial")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Grouped(a=1) op %d differs", i)
+		}
+	}
+}
+
+func TestAutoGroupSize(t *testing.T) {
+	// Plenty of parallelism from the update: use one big group (pure FLATTS).
+	if a := AutoGroupSize(10, 100, 2, 4); a != 10 {
+		t.Fatalf("expected full grouping, got %d", a)
+	}
+	// No parallelism at all: fall back to the finest grain.
+	if a := AutoGroupSize(10, 1, 2, 100); a != 1 {
+		t.Fatalf("expected a=1, got %d", a)
+	}
+	// Middle ground: ceil(u/a)*v ≥ γ·cores must hold for the returned a.
+	u, v, gamma, cores := 16, 3, 2, 8
+	a := AutoGroupSize(u, v, gamma, cores)
+	if ((u+a-1)/a)*v < gamma*cores {
+		t.Fatalf("AutoGroupSize violates its own constraint: a=%d", a)
+	}
+	// And a+1 must violate it (a is maximal), unless a == u.
+	if a < u {
+		if ((u+a)/(a+1))*v >= gamma*cores {
+			t.Fatalf("AutoGroupSize not maximal: a=%d", a)
+		}
+	}
+	if AutoGroupSize(1, 5, 2, 4) != 1 {
+		t.Fatalf("single row panel must return 1")
+	}
+}
+
+func TestAutoTreeValid(t *testing.T) {
+	for _, n := range []int{2, 7, 24} {
+		for _, cores := range []int{1, 4, 24} {
+			ops := AutoTree(seq(n), 5, 2, cores)
+			if err := Validate(seq(n), ops); err != nil {
+				t.Fatalf("AutoTree(%d, cores=%d): %v", n, cores, err)
+			}
+		}
+	}
+}
+
+func TestOrderDispatch(t *testing.T) {
+	rows := seq(9)
+	for _, k := range []Kind{FlatTS, FlatTT, Greedy, Auto, Fibonacci, Binary} {
+		ops := Order(k, rows, 4, 2, 8)
+		if err := Validate(rows, ops); err != nil {
+			t.Fatalf("Order(%v): %v", k, err)
+		}
+	}
+	if Order(Greedy, []int{3}, 1, 2, 8) != nil {
+		t.Fatalf("single-row panel should produce no ops")
+	}
+}
+
+func TestOrderNonContiguousRows(t *testing.T) {
+	rows := []int{2, 5, 9, 11, 17}
+	for _, k := range []Kind{FlatTS, FlatTT, Greedy, Fibonacci, Binary} {
+		ops := Order(k, rows, 3, 2, 4)
+		if err := Validate(rows, ops); err != nil {
+			t.Fatalf("Order(%v) on sparse rows: %v", k, err)
+		}
+	}
+}
+
+func TestHierarchicalValid(t *testing.T) {
+	byNode := [][]int{{0, 3, 6, 9}, {1, 4, 7}, {2, 5, 8}}
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ops := Hierarchical(byNode,
+		func(rows []int) []Op { return Grouped(rows, 2) },
+		Binomial)
+	// The global pivot is byNode[0][0] = 0 = all[0].
+	if err := Validate(all, ops); err != nil {
+		t.Fatalf("Hierarchical: %v", err)
+	}
+}
+
+func TestHierarchicalEmptyNodes(t *testing.T) {
+	byNode := [][]int{nil, {4, 8}, nil, {5}}
+	all := []int{4, 5, 8}
+	ops := Hierarchical(byNode, func(rows []int) []Op { return Flat(rows, false) }, Binomial)
+	if err := Validate(all, ops); err != nil {
+		t.Fatalf("Hierarchical with empty nodes: %v", err)
+	}
+}
+
+func TestValidateCatchesDoubleElimination(t *testing.T) {
+	rows := seq(3)
+	bad := []Op{{Piv: 0, Row: 1}, {Piv: 0, Row: 1}, {Piv: 0, Row: 2}}
+	if Validate(rows, bad) == nil {
+		t.Fatalf("double elimination not caught")
+	}
+}
+
+func TestValidateCatchesDeadPivot(t *testing.T) {
+	rows := seq(3)
+	bad := []Op{{Piv: 0, Row: 1}, {Piv: 1, Row: 2}}
+	if Validate(rows, bad) == nil {
+		t.Fatalf("dead pivot not caught")
+	}
+}
+
+func TestValidateCatchesSelfElimination(t *testing.T) {
+	if Validate(seq(2), []Op{{Piv: 1, Row: 1}}) == nil {
+		t.Fatalf("self elimination not caught")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{FlatTS, FlatTT, Greedy, Auto, Fibonacci, Binary} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind round trip failed for %v", k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatalf("ParseKind should reject unknown names")
+	}
+}
+
+// Property: every tree kind yields a valid elimination order for random
+// panel sizes and random (sorted, distinct) row indices.
+func TestAllTreesValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		rows := make([]int, n)
+		next := 0
+		for i := range rows {
+			next += 1 + rng.Intn(3)
+			rows[i] = next
+		}
+		for _, k := range []Kind{FlatTS, FlatTT, Greedy, Auto, Fibonacci, Binary} {
+			ops := Order(k, rows, 1+rng.Intn(10), 2, 1+rng.Intn(32))
+			if Validate(rows, ops) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the binomial tree is optimal — no valid order can have smaller
+// depth, and binomial achieves ⌈log₂ n⌉ exactly.
+func TestBinomialOptimalDepthProperty(t *testing.T) {
+	f := func(n int) bool {
+		if n < 2 || n > 512 {
+			return true
+		}
+		d := Depth(Binomial(seq(n)))
+		return d == int(math.Ceil(math.Log2(float64(n))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package bidiag
+
+import (
+	"errors"
+
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+)
+
+// SVDResult holds a thin singular value decomposition A ≈ U·diag(S)·Vᵀ.
+type SVDResult struct {
+	// U has the shape m×min(m,n) with orthonormal columns.
+	U *Dense
+	// S holds min(m,n) singular values in descending order.
+	S []float64
+	// V has the shape n×min(m,n) with orthonormal columns.
+	V *Dense
+}
+
+// SVD computes the thin singular value decomposition using the tiled
+// reduction: GE2BND with transformation recording, a dense SVD of the
+// small band factor, and application of the recorded tiled reflectors to
+// map the band's singular vectors back to the full space.
+//
+// Computing singular vectors on top of the two-stage reduction is the
+// extension the paper lists as future work; here the band factor (n×n,
+// bandwidth NB+1) is resolved by one-sided Jacobi, so the reduction's
+// second stage (BND2BD) is bypassed when vectors are requested — the
+// trade-off Section II describes for multi-step methods.
+//
+// The decomposition requires a numerically full-rank A for the U columns
+// associated with the smallest singular values to be reliable.
+func SVD(a *Dense, o *Options) (*SVDResult, error) {
+	opts := o.withDefaults()
+	treeKind, err := opts.Tree.kind()
+	if err != nil {
+		return nil, err
+	}
+	src := a.inner
+	transposed := false
+	if src.Rows < src.Cols {
+		src = src.Transpose()
+		transposed = true
+	}
+	m, n := src.Rows, src.Cols
+	if m == 0 || n == 0 {
+		return nil, errors.New("bidiag: empty matrix")
+	}
+
+	useR := opts.Algorithm == RBidiag ||
+		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
+
+	rec := &core.Recorder{}
+	work := tile.FromDense(src, opts.NB)
+	sh := core.ShapeOf(m, n, opts.NB)
+	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec}
+	g := sched.NewGraph()
+	result := work
+	if useR {
+		_, r := core.BuildRBidiag(g, sh, work, cfg)
+		result = r
+	} else {
+		core.BuildBidiag(g, sh, work, cfg)
+	}
+	if opts.Workers > 1 {
+		g.RunParallel(opts.Workers)
+	} else {
+		g.RunSequential()
+	}
+
+	// Dense SVD of the small band factor.
+	bandDense := result.ExtractBand(result.NB).ToDense()
+	ub, s, vb := jacobi.SVD(bandDense)
+
+	// Map the band vectors back through the recorded reflectors:
+	// U = E₁ᵀ···E_Kᵀ·[U_b; 0] and Vᵀ = V_bᵀ·F_Lᵀ···F₁ᵀ.
+	u := rec.ApplyLeftAll(ub, opts.Workers)
+	vt := rec.ApplyRightAll(vb.Transpose(), opts.Workers)
+	v := vt.Transpose()
+
+	if transposed {
+		u, v = v, u
+	}
+	return &SVDResult{U: &Dense{inner: u}, S: s, V: &Dense{inner: v}}, nil
+}

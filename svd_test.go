@@ -1,0 +1,142 @@
+package bidiag
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// svdResidual returns ‖A − U·diag(S)·Vᵀ‖_max / ‖A‖_F.
+func svdResidual(a *Dense, r *SVDResult) float64 {
+	m, n := a.Rows(), a.Cols()
+	k := len(r.S)
+	us := nla.NewMatrix(m, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < m; i++ {
+			us.Set(i, j, r.U.At(i, j)*r.S[j])
+		}
+	}
+	recon := nla.MulABT(us, r.V.inner)
+	mx := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if d := math.Abs(recon.At(i, j) - a.At(i, j)); d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx / a.inner.FrobeniusNorm()
+}
+
+func orthoError(d *Dense) float64 {
+	return nla.OrthogonalityError(d.inner)
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	for _, cfg := range []struct {
+		m, n int
+		tree Tree
+		alg  Algorithm
+	}{
+		{48, 48, Auto, Bidiag},
+		{64, 32, Greedy, Bidiag},
+		{96, 24, FlatTS, RBidiag},
+		{80, 40, FlatTT, AutoAlgorithm},
+		{50, 50, Greedy, AutoAlgorithm},
+	} {
+		a := randomDense(int64(cfg.m*100+cfg.n), cfg.m, cfg.n)
+		r, err := SVD(a, &Options{NB: 8, Tree: cfg.tree, Algorithm: cfg.alg, Workers: 3})
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res := svdResidual(a, r); res > 1e-12 {
+			t.Errorf("%+v: reconstruction residual %g", cfg, res)
+		}
+		if e := orthoError(r.U); e > 1e-12 {
+			t.Errorf("%+v: U not orthonormal: %g", cfg, e)
+		}
+		if e := orthoError(r.V); e > 1e-12 {
+			t.Errorf("%+v: V not orthonormal: %g", cfg, e)
+		}
+	}
+}
+
+func TestSVDValuesMatchPipeline(t *testing.T) {
+	a := randomDense(7, 60, 30)
+	r, err := SVD(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := SingularValues(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(r.S, sv); diff > 1e-12 {
+		t.Fatalf("SVD and SingularValues disagree by %g", diff)
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	a := randomDense(8, 20, 50)
+	r, err := SVD(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.U.Rows() != 20 || r.U.Cols() != 20 || r.V.Rows() != 50 || r.V.Cols() != 20 {
+		t.Fatalf("thin shapes wrong: U %dx%d, V %dx%d", r.U.Rows(), r.U.Cols(), r.V.Rows(), r.V.Cols())
+	}
+	if res := svdResidual(a, r); res > 1e-12 {
+		t.Fatalf("wide reconstruction residual %g", res)
+	}
+	if e := orthoError(r.U); e > 1e-12 {
+		t.Fatalf("U not orthonormal: %g", e)
+	}
+	if e := orthoError(r.V); e > 1e-12 {
+		t.Fatalf("V not orthonormal: %g", e)
+	}
+}
+
+func TestSVDSingleColumn(t *testing.T) {
+	a := randomDense(9, 15, 1)
+	r, err := SVD(a, &Options{NB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i := 0; i < 15; i++ {
+		norm += a.At(i, 0) * a.At(i, 0)
+	}
+	norm = math.Sqrt(norm)
+	if math.Abs(r.S[0]-norm) > 1e-13*norm {
+		t.Fatalf("σ₁ should equal the column norm")
+	}
+	if res := svdResidual(a, r); res > 1e-12 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestSVDAcrossWorkersDeterministic(t *testing.T) {
+	a := randomDense(10, 40, 24)
+	r1, err := SVD(a, &Options{NB: 8, Workers: 1, Tree: Greedy, Algorithm: Bidiag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := SVD(a, &Options{NB: 8, Workers: 4, Tree: Greedy, Algorithm: Bidiag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.S {
+		if r1.S[i] != r4.S[i] {
+			t.Fatalf("singular values depend on worker count")
+		}
+	}
+	for j := 0; j < r1.U.Cols(); j++ {
+		for i := 0; i < r1.U.Rows(); i++ {
+			if r1.U.At(i, j) != r4.U.At(i, j) {
+				t.Fatalf("U depends on worker count")
+			}
+		}
+	}
+}

@@ -18,16 +18,35 @@
 // Every QR/LQ panel reduction is driven by a configurable reduction tree
 // (FlatTS, FlatTT, Greedy, or the adaptive Auto tree of the paper), and
 // the whole computation executes as a task graph on a data-flow runtime.
+//
+// Setting Options.Distributed executes the reduction on a grid of
+// in-process distributed-memory nodes instead: tiles are distributed 2D
+// block-cyclically, every QR/LQ panel uses the paper's hierarchical
+// (local × high-level) reduction trees, each task runs on the node owning
+// its output tile, and cross-node data dependencies are satisfied by
+// explicit messages whose count and volume are reported back:
+//
+//	opts := &bidiag.Options{Distributed: &bidiag.DistOptions{Nodes: 4}}
+//	b, _ := bidiag.GE2BND(a, opts)
+//	fmt.Println(b.Dist.CommVolume)
+//
+// Distributed runs are deterministic — repeating the same configuration
+// is bitwise-reproducible regardless of how the node pools interleave —
+// and their singular values agree with the shared-memory path to
+// rounding. (The band factor itself may differ in signs: the distributed
+// trees are a different, equally valid, elimination order.)
 package bidiag
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/tiled-la/bidiag/internal/band"
 	"github.com/tiled-la/bidiag/internal/bdsqr"
 	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/dist"
 	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/tile"
@@ -123,6 +142,41 @@ type Options struct {
 	Workers int
 	// Gamma is the AUTO tree's parallelism target multiplier (default 2).
 	Gamma int
+	// Distributed, when non-nil, executes the reduction on a grid of
+	// in-process distributed-memory nodes instead of the shared-memory
+	// worker pool. Tree is then superseded by the paper's hierarchical
+	// distributed trees.
+	Distributed *DistOptions
+}
+
+// DistOptions configures distributed execution.
+type DistOptions struct {
+	// Nodes is the number of in-process nodes (default 4). Ignored when
+	// an explicit grid is given.
+	Nodes int
+	// GridRows and GridCols select an explicit process grid. When zero,
+	// a near-square grid is derived from Nodes (or an N×1 grid for
+	// tall-skinny inputs with m ≥ 2n).
+	GridRows, GridCols int
+	// WorkersPerNode is each node's worker pool size (default: Workers
+	// divided across the nodes, at least 1).
+	WorkersPerNode int
+}
+
+// DistStats reports the measured behaviour of a distributed execution.
+type DistStats struct {
+	// Nodes, GridRows and GridCols describe the machine that ran.
+	Nodes, GridRows, GridCols int
+	// CommCount and CommVolume are the deduplicated inter-node transfers
+	// and their modeled byte volume — directly comparable to the
+	// prediction of the distributed simulator on the same graph.
+	CommCount  int
+	CommVolume float64
+	// PayloadBytes is the serialized tile data actually moved.
+	PayloadBytes int64
+	// Wall and Utilization describe the execution itself.
+	Wall        time.Duration
+	Utilization float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -180,6 +234,9 @@ type Band struct {
 	UsedRBidiag bool
 	// TasksExecuted is the number of kernel tasks in the DAG.
 	TasksExecuted int
+	// Dist holds measured communication statistics when the reduction ran
+	// distributed (Options.Distributed non-nil); nil otherwise.
+	Dist *DistStats
 }
 
 // N returns the order of the band matrix.
@@ -218,15 +275,76 @@ func GE2BND(a *Dense, o *Options) (*Band, error) {
 		return nil, errors.New("bidiag: empty matrix")
 	}
 
-	useR := opts.Algorithm == RBidiag ||
-		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
 	if opts.Algorithm == RBidiag && m < n {
 		return nil, errors.New("bidiag: R-bidiagonalization requires m ≥ n")
 	}
 
+	result, useR, tasks, ds, err := buildAndRun(src, opts, treeKind, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Band{
+		b:             result.ExtractBand(result.NB),
+		UsedRBidiag:   useR,
+		TasksExecuted: tasks,
+		Dist:          ds,
+	}, nil
+}
+
+// distPlan resolves the node grid and per-node worker count of a
+// distributed run.
+func distPlan(d *DistOptions, opts Options, m, n int) (dist.Grid, int, error) {
+	var grid dist.Grid
+	switch {
+	case d.GridRows > 0 && d.GridCols > 0:
+		grid = dist.Grid{R: d.GridRows, C: d.GridCols}
+	case d.GridRows != 0 || d.GridCols != 0:
+		return dist.Grid{}, 0, fmt.Errorf("bidiag: invalid grid %dx%d; both dimensions must be positive (or zero to derive one)",
+			d.GridRows, d.GridCols)
+	default:
+		nodes := d.Nodes
+		if nodes <= 0 {
+			nodes = 4
+		}
+		if m >= 2*n {
+			grid = dist.TallSkinnyGrid(nodes)
+		} else {
+			grid = dist.SquareGrid(nodes)
+		}
+	}
+	wpn := d.WorkersPerNode
+	if wpn <= 0 {
+		wpn = max(1, opts.Workers/grid.Nodes())
+	}
+	return grid, wpn, grid.Validate()
+}
+
+// buildAndRun constructs the GE2BND task graph over the tiled copy of src
+// and executes it with the configured engine: the shared-memory pool, or
+// — when opts.Distributed is set — the owner-compute executor over a
+// block-cyclic grid with hierarchical reduction trees.
+func buildAndRun(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.Recorder) (*tile.Matrix, bool, int, *DistStats, error) {
+	m, n := src.Rows, src.Cols
+	useR := opts.Algorithm == RBidiag ||
+		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
+
 	work := tile.FromDense(src, opts.NB)
 	sh := core.ShapeOf(m, n, opts.NB)
-	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers}
+	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec}
+	var grid dist.Grid
+	var wpn int
+	if d := opts.Distributed; d != nil {
+		var err error
+		grid, wpn, err = distPlan(d, opts, m, n)
+		if err != nil {
+			return nil, false, 0, nil, err
+		}
+		tc := dist.AutoDefaults(sh, grid, wpn)
+		tc.Gamma = opts.Gamma
+		cfg = tc.Configure()
+		cfg.Recorder = rec
+	}
+
 	g := sched.NewGraph()
 	result := work
 	if useR {
@@ -235,16 +353,30 @@ func GE2BND(a *Dense, o *Options) (*Band, error) {
 	} else {
 		core.BuildBidiag(g, sh, work, cfg)
 	}
-	if opts.Workers > 1 {
+
+	var ds *DistStats
+	switch {
+	case opts.Distributed != nil:
+		res, err := dist.Execute(g, dist.Options{Grid: grid, WorkersPerNode: wpn})
+		if err != nil {
+			return nil, false, 0, nil, err
+		}
+		ds = &DistStats{
+			Nodes:        res.Nodes,
+			GridRows:     grid.R,
+			GridCols:     grid.C,
+			CommCount:    res.CommCount,
+			CommVolume:   res.CommVolume,
+			PayloadBytes: res.PayloadBytes,
+			Wall:         res.Wall,
+			Utilization:  res.Utilization,
+		}
+	case opts.Workers > 1:
 		g.RunParallel(opts.Workers)
-	} else {
+	default:
 		g.RunSequential()
 	}
-	return &Band{
-		b:             result.ExtractBand(result.NB),
-		UsedRBidiag:   useR,
-		TasksExecuted: len(g.Tasks),
-	}, nil
+	return result, useR, len(g.Tasks), ds, nil
 }
 
 // SingularValues returns the singular values of a in descending order,

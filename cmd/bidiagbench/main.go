@@ -6,10 +6,15 @@
 //
 //	bidiagbench -exp fig2a              # one experiment
 //	bidiagbench -exp all -scale small   # everything, laptop sizes
+//	bidiagbench -nodes 4                # real distributed executor vs simulator
+//	bidiagbench -nodes 6 -grid 2x3      # explicit process grid
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
-// critpaths, crossover, asymptotics, accuracy.
+// critpaths, crossover, asymptotics, accuracy. With -nodes the command
+// instead runs GE2BND on that many in-process distributed-memory nodes
+// and reports the measured message count and volume next to the
+// distributed simulator's prediction for the same graph.
 package main
 
 import (
@@ -78,12 +83,48 @@ func names() []string {
 	return n
 }
 
+// parseGrid parses an "RxC" grid spec; zeros mean "derive from -nodes".
+func parseGrid(s string) (int, int, error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	var r, c int
+	if _, err := fmt.Sscanf(s, "%dx%d", &r, &c); err != nil || r < 1 || c < 1 {
+		return 0, 0, fmt.Errorf("invalid -grid %q; want e.g. 2x3", s)
+	}
+	return r, c, nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (or 'all')")
 	scale := flag.String("scale", "full", "problem sizes: full (paper) or small (laptop)")
 	out := flag.String("out", "experiments-out", "directory for CSV output")
 	list := flag.Bool("list", false, "list experiments and exit")
+	nodes := flag.Int("nodes", 0, "run the real distributed executor on this many in-process nodes")
+	gridSpec := flag.String("grid", "", "process grid RxC for -nodes (default: near-square)")
 	flag.Parse()
+
+	if *nodes > 0 {
+		gr, gc, err := parseGrid(*gridSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc := experiments.Scale{Small: *scale == "small"}
+		tbl := experiments.DistExec(sc, *nodes, gr, gc)
+		fmt.Println(tbl.Text())
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, tbl.Name+".csv")
+		if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:", strings.Join(names(), " "))

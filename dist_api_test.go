@@ -1,0 +1,94 @@
+package bidiag
+
+import (
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/jacobi"
+)
+
+// TestGE2BNDDistributed runs the public API on in-process distributed
+// nodes: the singular values must match the shared-memory run (the
+// distributed hierarchical trees are a different — equally valid —
+// elimination order, so the band itself agrees only up to signs), the
+// distributed result must be deterministic bitwise across worker counts,
+// and communication statistics must be reported.
+func TestGE2BNDDistributed(t *testing.T) {
+	for _, alg := range []Algorithm{Bidiag, RBidiag} {
+		a := randomDense(3, 160, 96)
+		seq, err := GE2BND(a, &Options{NB: 32, Algorithm: alg, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GE2BND(a, &Options{NB: 32, Algorithm: alg,
+			Distributed: &DistOptions{Nodes: 4, WorkersPerNode: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dist == nil {
+			t.Fatal("distributed run reported no stats")
+		}
+		if got.Dist.Nodes != 4 || got.Dist.CommCount == 0 {
+			t.Fatalf("implausible stats: %+v", got.Dist)
+		}
+
+		svSeq, err := seq.SingularValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svDist, err := got.SingularValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := jacobi.MaxRelDiff(svDist, svSeq); diff > 1e-12 {
+			t.Fatalf("alg %v: distributed singular values off by %g", alg, diff)
+		}
+
+		// Re-running the same configuration must be bitwise identical, no
+		// matter how the node pools interleave. (A different
+		// WorkersPerNode would legitimately differ: the AUTO trees adapt
+		// their group sizes to the per-node core count.)
+		again, err := GE2BND(a, &Options{NB: 32, Algorithm: alg,
+			Distributed: &DistOptions{Nodes: 4, WorkersPerNode: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < got.N(); i++ {
+			for j := i; j <= min(i+got.Bandwidth(), got.N()-1); j++ {
+				if got.At(i, j) != again.At(i, j) {
+					t.Fatalf("alg %v: distributed run not deterministic at (%d,%d)", alg, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSVDDistributed checks the vector path: recorded transformations from
+// a distributed reduction reconstruct A within the usual tolerance.
+func TestSVDDistributed(t *testing.T) {
+	a := randomDense(5, 96, 64)
+	res, err := SVD(a, &Options{NB: 32, Distributed: &DistOptions{GridRows: 2, GridCols: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist == nil || res.Dist.GridRows != 2 || res.Dist.GridCols != 2 {
+		t.Fatalf("missing or wrong distributed stats: %+v", res.Dist)
+	}
+	// ‖A − U·diag(S)·Vᵀ‖ max-abs residual.
+	maxAbs := 0.0
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			v := 0.0
+			for k := range res.S {
+				v += res.U.At(i, k) * res.S[k] * res.V.At(j, k)
+			}
+			if d := v - a.At(i, j); d > maxAbs {
+				maxAbs = d
+			} else if -d > maxAbs {
+				maxAbs = -d
+			}
+		}
+	}
+	if maxAbs > 1e-10 {
+		t.Fatalf("reconstruction residual %g too large", maxAbs)
+	}
+}

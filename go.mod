@@ -1,0 +1,3 @@
+module github.com/tiled-la/bidiag
+
+go 1.24

@@ -158,6 +158,9 @@ func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *build
 			base := 3 * (i + j*sh.P)
 			if cfg.CoarseDeps {
 				whole := g.NewHandle(int32(8*r*c), owner)
+				if data != nil {
+					whole.SetPayload(regionPayload(data.Tile(i, j), regWhole))
+				}
 				b.h[base+regDiag] = whole
 				b.h[base+regUpper] = whole
 				b.h[base+regLower] = whole
@@ -167,6 +170,12 @@ func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *build
 			b.h[base+regDiag] = g.NewHandle(int32(8*k), owner)
 			b.h[base+regUpper] = g.NewHandle(half, owner)
 			b.h[base+regLower] = g.NewHandle(half, owner)
+			if data != nil {
+				tl := data.Tile(i, j)
+				b.h[base+regDiag].SetPayload(regionPayload(tl, regDiag))
+				b.h[base+regUpper].SetPayload(regionPayload(tl, regUpper))
+				b.h[base+regLower].SetPayload(regionPayload(tl, regLower))
+			}
 		}
 	}
 	return b

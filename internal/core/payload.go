@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// Payload serializers for the distributed executor: each dependency region
+// of a tile gets a closure that snapshots its current float64 contents as
+// little-endian bytes, so cross-node messages carry the real data the
+// consumer reads. The element order within a region is fixed (column
+// major), making the wire format deterministic.
+
+const regWhole = -1
+
+// regionBytes returns the serialized size of a region, so snapshots can
+// allocate exactly once — they run on the executor's completion path.
+func regionBytes(rows, cols, region int) int {
+	k := min(rows, cols)
+	switch region {
+	case regDiag:
+		return 8 * k
+	case regUpper:
+		return 8 * (rows*cols - k) / 2
+	case regLower:
+		return 8 * (rows*cols - k) / 2
+	default:
+		return 8 * rows * cols
+	}
+}
+
+func regionPayload(t *nla.Matrix, region int) func() []byte {
+	return func() []byte {
+		buf := make([]byte, 0, regionBytes(t.Rows, t.Cols, region))
+		put := func(v float64) {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		switch region {
+		case regDiag:
+			k := min(t.Rows, t.Cols)
+			for i := 0; i < k; i++ {
+				put(t.At(i, i))
+			}
+		case regUpper:
+			for j := 1; j < t.Cols; j++ {
+				for i := 0; i < min(j, t.Rows); i++ {
+					put(t.At(i, j))
+				}
+			}
+		case regLower:
+			for j := 0; j < t.Cols; j++ {
+				for i := j + 1; i < t.Rows; i++ {
+					put(t.At(i, j))
+				}
+			}
+		default: // regWhole
+			for j := 0; j < t.Cols; j++ {
+				for i := 0; i < t.Rows; i++ {
+					put(t.At(i, j))
+				}
+			}
+		}
+		return buf
+	}
+}

@@ -1,0 +1,75 @@
+package dist
+
+import "fmt"
+
+// Message is one inter-node transfer: the datum produced by task Producer,
+// shipped from node From to node To. Bytes is the modeled edge volume used
+// for communication accounting (the same figure SimulateDistributed
+// charges); Payload carries the actual serialized region data when the
+// graph was built over real tiles, and is empty for simulation-only
+// graphs. Enable lists the tasks on To that may not start before this
+// message has arrived.
+type Message struct {
+	From, To int32
+	Producer int32
+	Bytes    int32
+	Payload  []byte
+	Enable   []int32
+}
+
+// Transport moves messages between nodes. The executor guarantees that
+// Send is called from exactly one goroutine per source node (the node's
+// NIC), so implementations need only preserve per-sender FIFO order —
+// the ordering an MPI or TCP channel provides. Recv returns the receive
+// stream of a node; the channel is closed by Close once the executor has
+// drained every outbox.
+//
+// The in-process ChanTransport below is the only implementation today;
+// the interface is the seam where a TCP or gRPC transport plugs in for
+// true multi-process sharding.
+type Transport interface {
+	Send(msg Message) error
+	Recv(node int32) <-chan Message
+	Close() error
+}
+
+// ChanTransport is the deterministic in-process transport: one buffered
+// channel per node. Payloads are copied on Send, so a received message
+// never aliases sender memory — the property a real wire format gives you
+// for free, preserved here so the executor's data cache holds genuine
+// snapshots.
+type ChanTransport struct {
+	chans []chan Message
+}
+
+// NewChanTransport returns a transport connecting the given node count.
+func NewChanTransport(nodes int) *ChanTransport {
+	t := &ChanTransport{chans: make([]chan Message, nodes)}
+	for i := range t.chans {
+		t.chans[i] = make(chan Message, 64)
+	}
+	return t
+}
+
+// Send delivers msg to node msg.To, copying the payload.
+func (t *ChanTransport) Send(msg Message) error {
+	if msg.To < 0 || int(msg.To) >= len(t.chans) {
+		return fmt.Errorf("dist: send to unknown node %d (have %d)", msg.To, len(t.chans))
+	}
+	if msg.Payload != nil {
+		msg.Payload = append([]byte(nil), msg.Payload...)
+	}
+	t.chans[msg.To] <- msg
+	return nil
+}
+
+// Recv returns node's receive channel.
+func (t *ChanTransport) Recv(node int32) <-chan Message { return t.chans[node] }
+
+// Close closes every receive channel; no Send may follow.
+func (t *ChanTransport) Close() error {
+	for _, c := range t.chans {
+		close(c)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// TreeConfig describes the hierarchical reduction trees of the HQR
+// framework over a block-cyclic grid: inside each grid row (QR) or grid
+// column (LQ) the panel tiles one node holds are reduced by a local
+// FLATTS+binomial tree; the per-node survivors are then reduced across the
+// machine by a high-level TT tree. Configure turns the description into a
+// core.Config whose Owner/QRTree/LQTree drive the task builders.
+type TreeConfig struct {
+	Shape core.Shape
+	Grid  Grid
+	// LocalA is the FLATTS group size of the node-local level (the HQR
+	// default is 4). 1 degenerates to a local binomial tree; a huge value
+	// to pure FLATTS per node.
+	LocalA int
+	// LocalAuto replaces the fixed group size with the paper's AUTO rule:
+	// each step picks the largest group size that still exposes
+	// Gamma·Cores ready tasks per node.
+	LocalAuto bool
+	// Gamma and Cores parameterize the AUTO rule (defaults 2 and 1).
+	Gamma, Cores int
+	// High is the tree reducing the per-node survivors: FlatTT, Fibonacci
+	// (the paper's default for square grids), Greedy or Binary.
+	High trees.Kind
+	// Domino, when the high level is flat, chains each survivor into its
+	// predecessor instead of eliminating all of them into the panel pivot.
+	// The chain is one round deeper inside a single panel but pivots are
+	// all distinct, so consecutive panels pipeline — the domino of the
+	// tiled-QR literature. Non-flat high trees ignore it.
+	Domino bool
+}
+
+// Defaults returns the paper's hierarchical tree configuration for a shape
+// on a grid with the given cores per node: local FLATTS groups of 4, and a
+// flat high tree with domino for tall-skinny matrices (p ≥ 2q) or a
+// Fibonacci high tree otherwise.
+func Defaults(sh core.Shape, grid Grid, cores int) TreeConfig {
+	tc := TreeConfig{
+		Shape:  sh,
+		Grid:   grid,
+		LocalA: 4,
+		Gamma:  2,
+		Cores:  cores,
+		Domino: true,
+	}
+	if sh.P >= 2*sh.Q {
+		tc.High = trees.FlatTT
+	} else {
+		tc.High = trees.Fibonacci
+	}
+	return tc
+}
+
+// AutoDefaults is Defaults with the node-local level switched to the AUTO
+// group-size rule, the configuration of the paper's distributed runs.
+func AutoDefaults(sh core.Shape, grid Grid, cores int) TreeConfig {
+	tc := Defaults(sh, grid, cores)
+	tc.LocalAuto = true
+	return tc
+}
+
+func (tc TreeConfig) gamma() int {
+	if tc.Gamma <= 0 {
+		return 2
+	}
+	return tc.Gamma
+}
+
+func (tc TreeConfig) cores() int {
+	if tc.Cores <= 0 {
+		return 1
+	}
+	return tc.Cores
+}
+
+// groupSize returns the local FLATTS group size for a panel of u tiles on
+// one node with v trailing tile columns in the step.
+func (tc TreeConfig) groupSize(u, v int) int {
+	if tc.LocalAuto {
+		return trees.AutoGroupSize(u, v, tc.gamma(), tc.cores())
+	}
+	if tc.LocalA > 0 {
+		return tc.LocalA
+	}
+	return 4
+}
+
+// highOps reduces the per-node survivors.
+func (tc TreeConfig) highOps(leaders []int) []trees.Op {
+	switch {
+	case tc.High == trees.FlatTT && tc.Domino:
+		// Bottom-up chain: each survivor is eliminated into the one above.
+		ops := make([]trees.Op, 0, len(leaders)-1)
+		for i := len(leaders) - 1; i >= 1; i-- {
+			ops = append(ops, trees.Op{Piv: leaders[i-1], Row: leaders[i], TT: true})
+		}
+		return ops
+	case tc.High == trees.FlatTT:
+		return trees.Flat(leaders, true)
+	case tc.High == trees.Fibonacci:
+		return trees.FibonacciTree(leaders)
+	case tc.High == trees.Binary:
+		return trees.BinaryTree(leaders)
+	default:
+		return trees.Binomial(leaders)
+	}
+}
+
+// hierOrder builds the elimination order of one panel: idx is the list of
+// participating tile indices (ascending, idx[0] the surviving pivot),
+// domains the number of grid rows (QR) or columns (LQ), domainOf the map
+// from tile index to domain, and v the trailing update width of the step.
+func (tc TreeConfig) hierOrder(idx []int, domains int, domainOf func(int) int, v int) []trees.Op {
+	if len(idx) <= 1 {
+		return nil
+	}
+	byDom := make([][]int, domains)
+	for _, r := range idx {
+		d := domainOf(r)
+		byDom[d] = append(byDom[d], r)
+	}
+	// The domain of idx[0] goes first so it supplies the global pivot.
+	first := domainOf(idx[0])
+	ordered := make([][]int, 0, domains)
+	for o := 0; o < domains; o++ {
+		ordered = append(ordered, byDom[(first+o)%domains])
+	}
+	local := func(rows []int) []trees.Op {
+		return trees.Grouped(rows, tc.groupSize(len(rows), v))
+	}
+	return trees.Hierarchical(ordered, local, tc.highOps)
+}
+
+// Configure produces the core.Config that stamps block-cyclic ownership on
+// every tile and routes every QR/LQ panel through the hierarchical trees.
+func (tc TreeConfig) Configure() core.Config {
+	grid := tc.Grid
+	return core.Config{
+		Tree:  trees.Auto,
+		Gamma: tc.gamma(),
+		Cores: tc.cores(),
+		Owner: func(i, j int) int32 { return grid.Owner(i, j) },
+		QRTree: func(k int, rows []int, v int) []trees.Op {
+			return tc.hierOrder(rows, grid.R, grid.RowOf, v)
+		},
+		LQTree: func(k int, cols []int, v int) []trees.Op {
+			return tc.hierOrder(cols, grid.C, grid.ColOf, v)
+		},
+	}
+}

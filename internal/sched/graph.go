@@ -12,6 +12,9 @@
 //   - SimulateFixed: event-driven list scheduling on P virtual cores.
 //   - SimulateDistributed: multi-node list scheduling with a bandwidth/
 //     latency communication model (see simdist.go).
+//   - dist.Execute (internal/dist): real owner-compute execution on N
+//     in-process nodes, cross-node dependencies satisfied by explicit
+//     messages over a pluggable transport.
 //
 // Tasks are deliberately compact (a few pointers and scalars) so that
 // graphs with tens of millions of tasks — the paper's largest distributed
@@ -27,12 +30,29 @@ import (
 // Handle identifies one unit of data for dependency inference — typically
 // one region (diagonal block, strict lower, strict upper) of one tile.
 // The zero Owner means node 0; Bytes sizes communication in the
-// distributed simulator.
+// distributed simulator and executor.
 type Handle struct {
 	Bytes      int32
 	Owner      int32
+	payload    func() []byte
 	lastWriter *Task
 	readers    []*Task
+}
+
+// SetPayload attaches a serializer that snapshots the datum's current
+// bytes. The distributed executor calls it when a read-after-write edge
+// crosses a node boundary, to fill the message payload. Simulation-only
+// graphs leave it nil and messages carry metadata only.
+func (h *Handle) SetPayload(f func() []byte) { h.payload = f }
+
+// Snapshot returns the datum's current serialized bytes, or nil when no
+// serializer is attached. Callers must invoke it only at points where the
+// datum is quiescent (no kernel writing it may be in flight).
+func (h *Handle) Snapshot() []byte {
+	if h.payload == nil {
+		return nil
+	}
+	return h.payload()
 }
 
 // Task is one kernel invocation in the DAG.
@@ -46,9 +66,10 @@ type Task struct {
 	Flops  float64 // modeled flop count (machine-model simulation)
 	Run    func()  // real execution closure; nil in simulation-only graphs
 
-	succs     []*Task
-	succBytes []int32 // data carried by each edge (0 for anti-dependencies)
-	npred     int32
+	succs       []*Task
+	succBytes   []int32     // data carried by each edge (0 for anti-dependencies)
+	succHandles [][]*Handle // handles whose data each edge carries (merged edges keep all)
+	npred       int32
 
 	prio      float64 // bottom level; larger = more critical
 	readyTime float64 // scratch used by the simulators
@@ -118,19 +139,19 @@ func (g *Graph) AddTask(kind kernels.Kind, node int32, weight, flops float64, ru
 		h := a.H
 		switch a.Mode {
 		case Read:
-			g.addEdge(h.lastWriter, t, h.Bytes)
+			g.addEdge(h.lastWriter, t, h.Bytes, h)
 			h.readers = append(h.readers, t)
 		case ReadWrite:
-			g.addEdge(h.lastWriter, t, h.Bytes)
+			g.addEdge(h.lastWriter, t, h.Bytes, h)
 			for _, r := range h.readers {
-				g.addEdge(r, t, 0)
+				g.addEdge(r, t, 0, h)
 			}
 			h.lastWriter = t
 			h.readers = h.readers[:0]
 		case WriteOnly:
-			g.addEdge(h.lastWriter, t, 0)
+			g.addEdge(h.lastWriter, t, 0, h)
 			for _, r := range h.readers {
-				g.addEdge(r, t, 0)
+				g.addEdge(r, t, 0, h)
 			}
 			h.lastWriter = t
 			h.readers = h.readers[:0]
@@ -147,20 +168,32 @@ func (t *Task) SetCoords(i, j, k int) *Task {
 	return t
 }
 
-func (g *Graph) addEdge(from, to *Task, bytes int32) {
+func (g *Graph) addEdge(from, to *Task, bytes int32, h *Handle) {
 	if from == nil || from == to {
 		return
 	}
 	// Cheap duplicate suppression: repeated consecutive edges are common
 	// (a task reading several regions last written by the same producer).
+	// The merged edge keeps the largest byte count — the figure the
+	// simulator charges — but remembers every distinct handle, so a
+	// message built from the edge carries all the regions the consumer
+	// reads.
 	if n := len(from.succs); n > 0 && from.succs[n-1] == to {
 		if bytes > from.succBytes[n-1] {
 			from.succBytes[n-1] = bytes
 		}
+		hs := from.succHandles[n-1]
+		for _, seen := range hs {
+			if seen == h {
+				return
+			}
+		}
+		from.succHandles[n-1] = append(hs, h)
 		return
 	}
 	from.succs = append(from.succs, to)
 	from.succBytes = append(from.succBytes, bytes)
+	from.succHandles = append(from.succHandles, []*Handle{h})
 	to.npred++
 }
 
@@ -219,3 +252,12 @@ func (t *Task) Prio() float64 { return t.prio }
 
 // Succs returns the task's successor list (read-only use).
 func (t *Task) Succs() []*Task { return t.succs }
+
+// EdgeBytes returns the data volume carried by the i-th successor edge
+// (0 for pure ordering edges: anti- and output dependencies).
+func (t *Task) EdgeBytes(i int) int32 { return t.succBytes[i] }
+
+// EdgeHandles returns the handles whose data the i-th successor edge
+// carries (several when consecutive edges to the same task were merged).
+// Ordering edges still reference the handle that induced them.
+func (t *Task) EdgeHandles(i int) []*Handle { return t.succHandles[i] }

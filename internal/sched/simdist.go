@@ -1,6 +1,10 @@
 package sched
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
 
 // DistConfig parameterizes the distributed-memory simulator. Durations are
 // in seconds when TimeOf returns seconds; the communication parameters then
@@ -35,9 +39,24 @@ type DistResult struct {
 // plus size/bandwidth, serialized through the producer node's NIC; repeated
 // transfers of the same datum to the same node are deduplicated, like the
 // runtime's data cache.
+// CommKey packs a (producer task, destination node) pair into the dedup
+// map key used by both the distributed simulator and the real executor:
+// the task ID occupies the high 32 bits and the node the low 32. Both
+// values are int32, so the packing cannot collide; the guard keeps a
+// corrupted negative node from sign-extending into the task bits.
+func CommKey(task, node int32) int64 {
+	if node < 0 {
+		panic(fmt.Sprintf("sched: negative node %d in comm key", node))
+	}
+	return int64(task)<<32 | int64(node)
+}
+
 func (g *Graph) SimulateDistributed(cfg DistConfig) DistResult {
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 1
+	}
+	if cfg.Nodes > math.MaxInt32 {
+		panic(fmt.Sprintf("sched: %d nodes overflow the 32-bit comm key", cfg.Nodes))
 	}
 	if cfg.WorkersPerNode < 1 {
 		cfg.WorkersPerNode = 1
@@ -109,7 +128,7 @@ func (g *Graph) SimulateDistributed(cfg DistConfig) DistResult {
 	}
 
 	var result DistResult
-	transferred := map[int64]float64{} // (producer ID << 20 | destNode) → arrival
+	transferred := map[int64]float64{} // CommKey(producer ID, destNode) → arrival
 
 	enable := func(t *Task, at float64) {
 		if at > t.readyTime {
@@ -167,7 +186,7 @@ func (g *Graph) SimulateDistributed(cfg DistConfig) DistResult {
 					touched[sNode] = true
 					continue
 				}
-				key := int64(t.ID)<<32 | int64(sNode)
+				key := CommKey(t.ID, sNode)
 				arrival, ok := transferred[key]
 				if !ok {
 					start := now

@@ -5,8 +5,6 @@ import (
 
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/jacobi"
-	"github.com/tiled-la/bidiag/internal/sched"
-	"github.com/tiled-la/bidiag/internal/tile"
 )
 
 // SVDResult holds a thin singular value decomposition A ≈ U·diag(S)·Vᵀ.
@@ -17,6 +15,9 @@ type SVDResult struct {
 	S []float64
 	// V has the shape n×min(m,n) with orthonormal columns.
 	V *Dense
+	// Dist holds measured communication statistics when the reduction ran
+	// distributed (Options.Distributed non-nil); nil otherwise.
+	Dist *DistStats
 }
 
 // SVD computes the thin singular value decomposition using the tiled
@@ -49,25 +50,10 @@ func SVD(a *Dense, o *Options) (*SVDResult, error) {
 		return nil, errors.New("bidiag: empty matrix")
 	}
 
-	useR := opts.Algorithm == RBidiag ||
-		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
-
 	rec := &core.Recorder{}
-	work := tile.FromDense(src, opts.NB)
-	sh := core.ShapeOf(m, n, opts.NB)
-	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec}
-	g := sched.NewGraph()
-	result := work
-	if useR {
-		_, r := core.BuildRBidiag(g, sh, work, cfg)
-		result = r
-	} else {
-		core.BuildBidiag(g, sh, work, cfg)
-	}
-	if opts.Workers > 1 {
-		g.RunParallel(opts.Workers)
-	} else {
-		g.RunSequential()
+	result, _, _, ds, err := buildAndRun(src, opts, treeKind, rec)
+	if err != nil {
+		return nil, err
 	}
 
 	// Dense SVD of the small band factor.
@@ -83,5 +69,5 @@ func SVD(a *Dense, o *Options) (*SVDResult, error) {
 	if transposed {
 		u, v = v, u
 	}
-	return &SVDResult{U: &Dense{inner: u}, S: s, V: &Dense{inner: v}}, nil
+	return &SVDResult{U: &Dense{inner: u}, S: s, V: &Dense{inner: v}, Dist: ds}, nil
 }

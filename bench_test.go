@@ -10,9 +10,11 @@ package bidiag
 // Benchmarks report GFlop/s-style custom metrics where meaningful.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"github.com/tiled-la/bidiag/internal/baseline"
 	"github.com/tiled-la/bidiag/internal/experiments"
 )
 
@@ -20,6 +22,7 @@ var benchScale = experiments.Scale{Small: true}
 
 func benchTable(b *testing.B, f func(experiments.Scale) *experiments.Table) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := f(benchScale)
 		if len(t.Rows) == 0 {
@@ -81,6 +84,7 @@ func BenchmarkFig4WeakScaling2k(b *testing.B) { benchTable(b, experiments.Fig4a)
 // BenchmarkFig4WeakScalingGE2VAL2k regenerates Figure 4 row 1 (GE2VAL +
 // efficiency).
 func BenchmarkFig4WeakScalingGE2VAL2k(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, e := experiments.Fig4bc(benchScale)
 		if len(p.Rows) == 0 || len(e.Rows) == 0 {
@@ -95,6 +99,7 @@ func BenchmarkFig4WeakScaling10k(b *testing.B) { benchTable(b, experiments.Fig4d
 // BenchmarkFig4WeakScalingGE2VAL10k regenerates Figure 4 row 2 (GE2VAL +
 // efficiency).
 func BenchmarkFig4WeakScalingGE2VAL10k(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, e := experiments.Fig4ef(benchScale)
 		if len(p.Rows) == 0 || len(e.Rows) == 0 {
@@ -137,13 +142,13 @@ func BenchmarkGE2BNDReal(b *testing.B) {
 		{"Auto-RBidiag", Options{NB: 64, Tree: Auto, Algorithm: RBidiag}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := GE2BND(a, &cfg.opts); err != nil {
 					b.Fatal(err)
 				}
 			}
-			flops := 4 * float64(n) * float64(n) * (float64(m) - float64(n)/3)
-			b.ReportMetric(flops/1e9/b.Elapsed().Seconds()*float64(b.N), "GFlop/s")
+			b.ReportMetric(baseline.PaperFlops(m, n)/1e9/b.Elapsed().Seconds()*float64(b.N), "GFlop/s")
 		})
 	}
 }
@@ -159,6 +164,8 @@ func BenchmarkSingularValuesReal(b *testing.B) {
 			a.Set(i, j, rng.NormFloat64())
 		}
 	}
+	b.ReportAllocs()
+	b.ResetTimer() // the LATMS-style input generation above is not the measured pipeline
 	for i := 0; i < b.N; i++ {
 		if _, err := SingularValues(a, &Options{NB: 32}); err != nil {
 			b.Fatal(err)
@@ -178,3 +185,31 @@ func BenchmarkAblationGamma(b *testing.B) { benchTable(b, experiments.AblationGa
 
 // BenchmarkAblationHighTree regenerates the high-level tree × domino study.
 func BenchmarkAblationHighTree(b *testing.B) { benchTable(b, experiments.AblationHighTree) }
+
+// BenchmarkGE2BND is the acceptance benchmark of the workspace/GEMM
+// refactor: single-threaded GE2BND of a 1024×1024 matrix at nb = 64. The
+// GFlop/s metric is directly comparable across commits; allocs/op counts
+// the graph build and tile copies only — the kernel steady state is
+// allocation-free (see internal/kernels TestKernelsZeroAlloc).
+func BenchmarkGE2BND(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const m, n = 1024, 1024
+	a := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		opts := Options{NB: 64, Tree: Auto, Algorithm: Bidiag, Workers: workers}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := GE2BND(a, &opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(baseline.PaperFlops(m, n)/1e9/b.Elapsed().Seconds()*float64(b.N), "GFlop/s")
+		})
+	}
+}

@@ -147,6 +147,18 @@ type Options struct {
 	// worker pool. Tree is then superseded by the paper's hierarchical
 	// distributed trees.
 	Distributed *DistOptions
+	// Gemm tunes the cache blocking of the packed GEMM micro-kernel the
+	// tile kernels bottom out in. The zero value selects defaults tuned
+	// for tile-scale operands; it rarely needs changing.
+	Gemm GemmBlock
+}
+
+// GemmBlock holds the cache-block sizes of the packed GEMM: panels of A
+// are MC×KC, panels of B KC×NC (in elements). Zero fields select the
+// defaults. Every worker uses the same blocking, which keeps parallel and
+// distributed results bitwise-identical to the sequential reference.
+type GemmBlock struct {
+	MC, KC, NC int
 }
 
 // DistOptions configures distributed execution.
@@ -330,7 +342,11 @@ func buildAndRun(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.R
 
 	work := tile.FromDense(src, opts.NB)
 	sh := core.ShapeOf(m, n, opts.NB)
-	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec}
+	blocking := nla.Blocking(opts.Gemm)
+	if rec != nil {
+		rec.Blocking = blocking
+	}
+	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec, Blocking: blocking}
 	var grid dist.Grid
 	var wpn int
 	if d := opts.Distributed; d != nil {
@@ -343,6 +359,7 @@ func buildAndRun(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.R
 		tc.Gamma = opts.Gamma
 		cfg = tc.Configure()
 		cfg.Recorder = rec
+		cfg.Blocking = blocking
 	}
 
 	g := sched.NewGraph()

@@ -8,6 +8,8 @@
 //	bidiagbench -exp all -scale small   # everything, laptop sizes
 //	bidiagbench -nodes 4                # real distributed executor vs simulator
 //	bidiagbench -nodes 6 -grid 2x3      # explicit process grid
+//	bidiagbench -m 1024 -n 1024 -nb 64 -workers 1   # one timed GE2BND, GFLOP/s
+//	bidiagbench -m 4096 -n 1024 -json BENCH_ge2bnd.json
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
@@ -15,17 +17,28 @@
 // instead runs GE2BND on that many in-process distributed-memory nodes
 // and reports the measured message count and volume next to the
 // distributed simulator's prediction for the same graph.
+//
+// With -m/-n (or -json) the command runs one real GE2BND of that shape and
+// prints wall time and GFLOP/s; -json additionally writes the result —
+// shape, nb, workers, wall time, GFLOP/s and (for distributed runs) the
+// communication statistics — as a machine-readable file, the format the
+// BENCH_*.json performance trajectory is tracked in.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
+	"github.com/tiled-la/bidiag"
+	"github.com/tiled-la/bidiag/internal/baseline"
 	"github.com/tiled-la/bidiag/internal/experiments"
 )
 
@@ -95,6 +108,110 @@ func parseGrid(s string) (int, int, error) {
 	return r, c, nil
 }
 
+// perfResult is the machine-readable record of one timed GE2BND run, the
+// schema of the BENCH_*.json performance-trajectory files.
+type perfResult struct {
+	Experiment  string  `json:"experiment"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	NB          int     `json:"nb"`
+	Workers     int     `json:"workers"`
+	Tree        string  `json:"tree"`
+	Algorithm   string  `json:"algorithm"`
+	Tasks       int     `json:"tasks"`
+	Reps        int     `json:"reps"`
+	WallSeconds float64 `json:"wall_seconds"` // best of Reps
+	GFlops      float64 `json:"gflops"`
+
+	// Distributed-run statistics; zero for shared-memory runs.
+	Nodes          int     `json:"nodes,omitempty"`
+	GridRows       int     `json:"grid_rows,omitempty"`
+	GridCols       int     `json:"grid_cols,omitempty"`
+	CommCount      int     `json:"comm_count,omitempty"`
+	CommVolume     float64 `json:"comm_volume_bytes,omitempty"`
+	PayloadBytes   int64   `json:"payload_bytes,omitempty"`
+	UtilizationPct float64 `json:"utilization_pct,omitempty"`
+}
+
+// runPerf executes one real GE2BND (reps times, best wall time kept),
+// prints the human-readable line, and optionally writes the JSON record.
+func runPerf(m, n, nb, workers, nodes, gridR, gridC, reps int, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(42))
+	rows, cols := m, n
+	if rows < cols {
+		rows, cols = cols, rows // GE2BND transposes internally; flops follow
+	}
+	a := bidiag.NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	opts := &bidiag.Options{NB: nb, Workers: workers, Algorithm: bidiag.Bidiag}
+	tree := opts.Tree.String()
+	if nodes > 0 {
+		opts.Distributed = &bidiag.DistOptions{Nodes: nodes, GridRows: gridR, GridCols: gridC}
+		// Options.Tree is superseded by the hierarchical distributed trees;
+		// record what actually runs, not the ignored shared-memory knob.
+		tree = "Hierarchical"
+	}
+	res := perfResult{
+		Experiment: "ge2bnd", M: m, N: n, NB: nb, Workers: workers,
+		Tree: tree, Algorithm: opts.Algorithm.String(), Reps: reps,
+	}
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		band, err := bidiag.GE2BND(a, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if wall < best {
+			best = wall
+		}
+		res.Tasks = band.TasksExecuted
+		if d := band.Dist; d != nil {
+			res.Nodes, res.GridRows, res.GridCols = d.Nodes, d.GridRows, d.GridCols
+			res.CommCount, res.CommVolume = d.CommCount, d.CommVolume
+			res.PayloadBytes = d.PayloadBytes
+			res.UtilizationPct = 100 * d.Utilization
+		}
+	}
+	flops := baseline.PaperFlops(rows, cols)
+	res.WallSeconds = best.Seconds()
+	res.GFlops = flops / 1e9 / res.WallSeconds
+	fmt.Printf("GE2BND %dx%d nb=%d workers=%d", m, n, nb, workers)
+	if res.Nodes > 0 {
+		fmt.Printf(" nodes=%d grid=%dx%d", res.Nodes, res.GridRows, res.GridCols)
+	}
+	fmt.Printf(": %.3fs  %.2f GFLOP/s  (%d tasks, best of %d)\n",
+		res.WallSeconds, res.GFlops, res.Tasks, reps)
+	if res.CommCount > 0 {
+		fmt.Printf("comm: %d messages, %.2f MB modeled, %.2f MB payload\n",
+			res.CommCount, res.CommVolume/1e6, float64(res.PayloadBytes)/1e6)
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(blob)
+			return err
+		}
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment to run (or 'all')")
 	scale := flag.String("scale", "full", "problem sizes: full (paper) or small (laptop)")
@@ -102,7 +219,45 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	nodes := flag.Int("nodes", 0, "run the real distributed executor on this many in-process nodes")
 	gridSpec := flag.String("grid", "", "process grid RxC for -nodes (default: near-square)")
+	mFlag := flag.Int("m", 0, "rows for a one-shot timed GE2BND run (enables perf mode)")
+	nFlag := flag.Int("n", 0, "columns for the timed run (default: m)")
+	nbFlag := flag.Int("nb", 64, "tile size for the timed run")
+	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the timed run")
+	repsFlag := flag.Int("reps", 3, "repetitions of the timed run (best kept)")
+	jsonOut := flag.String("json", "", "write the timed-run result as JSON to this file ('-' for stdout)")
 	flag.Parse()
+
+	// Any timed-run flag selects perf mode, so none is silently ignored.
+	perfMode := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "m", "n", "nb", "workers", "reps", "json":
+			perfMode = true
+		}
+	})
+	if perfMode {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "-exp and the timed-run flags (-m/-n/-nb/-workers/-reps/-json) are mutually exclusive")
+			os.Exit(2)
+		}
+		m, n := *mFlag, *nFlag
+		if m <= 0 {
+			m = 1024
+		}
+		if n <= 0 {
+			n = m
+		}
+		gr, gc, err := parseGrid(*gridSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := runPerf(m, n, *nbFlag, *workersFlag, *nodes, gr, gc, *repsFlag, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *nodes > 0 {
 		gr, gc, err := parseGrid(*gridSpec)

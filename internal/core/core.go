@@ -88,6 +88,10 @@ type Config struct {
 	// the Q and P factors can be applied later (singular vectors; see
 	// record.go). Requires a real-data build.
 	Recorder *Recorder
+	// Blocking is the GEMM cache blocking the execution workspaces use
+	// (zero value: nla.DefaultBlocking). It also sizes the pack scratch
+	// each task declares through sched.Graph.NeedScratch.
+	Blocking nla.Blocking
 }
 
 func (c Config) gamma() int {
@@ -144,6 +148,7 @@ type builder struct {
 
 func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *builder {
 	b := &builder{g: g, sh: sh, data: data, cfg: cfg, h: make([]*sched.Handle, 3*sh.P*sh.Q)}
+	g.Blocking = cfg.Blocking
 	if cfg.Recorder != nil {
 		if data == nil {
 			panic("core: recording transformations requires a real-data build")
@@ -179,6 +184,12 @@ func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *build
 		}
 	}
 	return b
+}
+
+// need declares one task's workspace requirement on the shared graph, so
+// the executors can size each worker's arena to the largest kernel.
+func (b *builder) need(kind kernels.Kind, m, n, k int) {
+	b.g.NeedScratch(kernels.ScratchSizeFor(kind, m, n, k, b.cfg.Blocking))
 }
 
 func (b *builder) hd(i, j int) *sched.Handle { return b.h[3*(i+j*b.sh.P)+regDiag] }
@@ -247,13 +258,14 @@ func (b *builder) emitGEQRT(k, i, w int) *geqrtOut {
 	m := sh.RowsOf(i)
 	kk := min(m, w)
 	out := &geqrtOut{kk: kk}
-	var run func()
+	b.need(kernels.GEQRTKind, m, w, 0)
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a := b.tileAt(i, k)
 		t := nla.NewMatrix(kk, kk)
 		tau := make([]float64, kk)
 		out.t = t
-		run = func() { kernels.GEQRT(a, t, tau) }
+		run = func(ws *nla.Workspace) { kernels.GEQRT(a, t, tau, ws) }
 		if b.rec != nil {
 			b.rec.left = append(b.rec.left, opRec{kind: recGEQRT, row: i, kk: kk, v: a, t: t})
 		}
@@ -268,13 +280,14 @@ func (b *builder) emitGEQRT(k, i, w int) *geqrtOut {
 func (b *builder) emitUNMQR(k, i, j int, fac *geqrtOut) {
 	sh := b.sh
 	m, n := sh.RowsOf(i), sh.ColsOf(j)
-	var run func()
+	b.need(kernels.UNMQRKind, m, n, fac.kk)
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		v := b.tileAt(i, k)
 		c := b.tileAt(i, j)
 		t := fac.t
 		kk := fac.kk
-		run = func() { kernels.UNMQR(true, kk, v, t, c) }
+		run = func(ws *nla.Workspace) { kernels.UNMQR(true, kk, v, t, c, ws) }
 	}
 	b.g.AddTask(kernels.UNMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.UNMQRKind),
 		kernels.FlopsUNMQR(m, n, fac.kk), run,
@@ -286,14 +299,15 @@ func (b *builder) emitUNMQR(k, i, j int, fac *geqrtOut) {
 func (b *builder) emitTS(k, piv, i, w, jmax int) {
 	sh := b.sh
 	m := sh.RowsOf(i)
+	b.need(kernels.TSQRTKind, m, w, 0)
 	var tsT *nla.Matrix
-	var run func()
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(piv, k)
 		a2 := b.tileAt(i, k)
 		tsT = nla.NewMatrix(w, w)
 		tau := make([]float64, w)
-		run = func() { kernels.TSQRT(a1, a2, tsT, tau) }
+		run = func(ws *nla.Workspace) { kernels.TSQRT(a1, a2, tsT, tau, ws) }
 		if b.rec != nil {
 			b.rec.left = append(b.rec.left, opRec{kind: recTS, piv: piv, row: i, kk: w, v: a2, t: tsT})
 		}
@@ -306,13 +320,14 @@ func (b *builder) emitTS(k, piv, i, w, jmax int) {
 
 	for j := k + 1; j < jmax; j++ {
 		n := sh.ColsOf(j)
-		var urun func()
+		b.need(kernels.TSMQRKind, m, n, w)
+		var urun func(*nla.Workspace)
 		if b.data != nil {
 			v2 := b.tileAt(i, k)
 			c1 := b.tileAt(piv, j)
 			c2 := b.tileAt(i, j)
 			t := tsT
-			urun = func() { kernels.TSMQR(true, w, v2, t, c1, c2) }
+			urun = func(ws *nla.Workspace) { kernels.TSMQR(true, w, v2, t, c1, c2, ws) }
 		}
 		b.g.AddTask(kernels.TSMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMQRKind),
 			kernels.FlopsTSMQR(m, n, w), urun,
@@ -325,15 +340,16 @@ func (b *builder) emitTS(k, piv, i, w, jmax int) {
 
 func (b *builder) emitTT(k, piv, i, w, jmax int) {
 	sh := b.sh
+	b.need(kernels.TTQRTKind, w, w, 0)
 	var ttT *nla.Matrix
-	var run func()
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(piv, k)
 		a2 := b.tileAt(i, k)
 		ttT = nla.NewMatrix(w, w)
 		tau := make([]float64, w)
-		run = func() {
-			kernels.TTQRT(a1.View(0, 0, w, w), a2.View(0, 0, min(a2.Rows, w), w), ttT, tau)
+		run = func(ws *nla.Workspace) {
+			kernels.TTQRT(a1.View(0, 0, w, w), a2.View(0, 0, min(a2.Rows, w), w), ttT, tau, ws)
 		}
 		if b.rec != nil {
 			b.rec.left = append(b.rec.left, opRec{kind: recTT, piv: piv, row: i, kk: w, v: a2, t: ttT})
@@ -347,14 +363,15 @@ func (b *builder) emitTT(k, piv, i, w, jmax int) {
 
 	for j := k + 1; j < jmax; j++ {
 		n := sh.ColsOf(j)
-		var urun func()
+		b.need(kernels.TTMQRKind, 0, n, w)
+		var urun func(*nla.Workspace)
 		if b.data != nil {
 			v2 := b.tileAt(i, k)
 			c1 := b.tileAt(piv, j)
 			c2 := b.tileAt(i, j)
 			t := ttT
-			urun = func() {
-				kernels.TTMQR(true, w, v2.View(0, 0, min(v2.Rows, w), w), t, c1, c2.View(0, 0, min(c2.Rows, w), c2.Cols))
+			urun = func(ws *nla.Workspace) {
+				kernels.TTMQR(true, w, v2.View(0, 0, min(v2.Rows, w), w), t, c1, c2.View(0, 0, min(c2.Rows, w), c2.Cols), ws)
 			}
 		}
 		b.g.AddTask(kernels.TTMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMQRKind),
@@ -413,13 +430,14 @@ func (b *builder) emitGELQT(k, j, h int) *geqrtOut {
 	n := sh.ColsOf(j)
 	kk := min(h, n)
 	out := &geqrtOut{kk: kk}
-	var run func()
+	b.need(kernels.GELQTKind, h, n, 0)
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a := b.tileAt(k, j)
 		t := nla.NewMatrix(kk, kk)
 		tau := make([]float64, kk)
 		out.t = t
-		run = func() { kernels.GELQT(a, t, tau) }
+		run = func(ws *nla.Workspace) { kernels.GELQT(a, t, tau, ws) }
 		if b.rec != nil {
 			b.rec.right = append(b.rec.right, opRec{kind: recGELQT, row: j, kk: kk, v: a, t: t})
 		}
@@ -434,13 +452,14 @@ func (b *builder) emitGELQT(k, j, h int) *geqrtOut {
 func (b *builder) emitUNMLQ(k, i, j int, fac *geqrtOut) {
 	sh := b.sh
 	m, n := sh.RowsOf(i), sh.ColsOf(j)
-	var run func()
+	b.need(kernels.UNMLQKind, m, n, fac.kk)
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		v := b.tileAt(k, j)
 		c := b.tileAt(i, j)
 		t := fac.t
 		kk := fac.kk
-		run = func() { kernels.UNMLQ(true, kk, v, t, c) }
+		run = func(ws *nla.Workspace) { kernels.UNMLQ(true, kk, v, t, c, ws) }
 	}
 	b.g.AddTask(kernels.UNMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.UNMLQKind),
 		kernels.FlopsUNMLQ(m, n, fac.kk), run,
@@ -452,14 +471,15 @@ func (b *builder) emitUNMLQ(k, i, j int, fac *geqrtOut) {
 func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
 	sh := b.sh
 	n := sh.ColsOf(j)
+	b.need(kernels.TSLQTKind, h, n, 0)
 	var tsT *nla.Matrix
-	var run func()
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(k, piv)
 		a2 := b.tileAt(k, j)
 		tsT = nla.NewMatrix(h, h)
 		tau := make([]float64, h)
-		run = func() { kernels.TSLQT(a1, a2, tsT, tau) }
+		run = func(ws *nla.Workspace) { kernels.TSLQT(a1, a2, tsT, tau, ws) }
 		if b.rec != nil {
 			b.rec.right = append(b.rec.right, opRec{kind: recTSL, piv: piv, row: j, kk: h, v: a2, t: tsT})
 		}
@@ -472,13 +492,14 @@ func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
 
 	for i := k + 1; i < imax; i++ {
 		m := sh.RowsOf(i)
-		var urun func()
+		b.need(kernels.TSMLQKind, m, n, h)
+		var urun func(*nla.Workspace)
 		if b.data != nil {
 			v2 := b.tileAt(k, j)
 			c1 := b.tileAt(i, piv)
 			c2 := b.tileAt(i, j)
 			t := tsT
-			urun = func() { kernels.TSMLQ(true, h, v2, t, c1, c2) }
+			urun = func(ws *nla.Workspace) { kernels.TSMLQ(true, h, v2, t, c1, c2, ws) }
 		}
 		b.g.AddTask(kernels.TSMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMLQKind),
 			kernels.FlopsTSMLQ(m, n, h), urun,
@@ -491,15 +512,16 @@ func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
 
 func (b *builder) emitTTLQ(k, piv, j, h, imax int) {
 	sh := b.sh
+	b.need(kernels.TTLQTKind, h, h, 0)
 	var ttT *nla.Matrix
-	var run func()
+	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(k, piv)
 		a2 := b.tileAt(k, j)
 		ttT = nla.NewMatrix(h, h)
 		tau := make([]float64, h)
-		run = func() {
-			kernels.TTLQT(a1.View(0, 0, h, h), a2.View(0, 0, h, min(a2.Cols, h)), ttT, tau)
+		run = func(ws *nla.Workspace) {
+			kernels.TTLQT(a1.View(0, 0, h, h), a2.View(0, 0, h, min(a2.Cols, h)), ttT, tau, ws)
 		}
 		if b.rec != nil {
 			b.rec.right = append(b.rec.right, opRec{kind: recTTL, piv: piv, row: j, kk: h, v: a2, t: ttT})
@@ -513,14 +535,15 @@ func (b *builder) emitTTLQ(k, piv, j, h, imax int) {
 
 	for i := k + 1; i < imax; i++ {
 		m := sh.RowsOf(i)
-		var urun func()
+		b.need(kernels.TTMLQKind, m, 0, h)
+		var urun func(*nla.Workspace)
 		if b.data != nil {
 			v2 := b.tileAt(k, j)
 			c1 := b.tileAt(i, piv)
 			c2 := b.tileAt(i, j)
 			t := ttT
-			urun = func() {
-				kernels.TTMLQ(true, h, v2.View(0, 0, h, min(v2.Cols, h)), t, c1, c2.View(0, 0, c2.Rows, min(c2.Cols, h)))
+			urun = func(ws *nla.Workspace) {
+				kernels.TTMLQ(true, h, v2.View(0, 0, h, min(v2.Cols, h)), t, c1, c2.View(0, 0, c2.Rows, min(c2.Cols, h)), ws)
 			}
 		}
 		b.g.AddTask(kernels.TTMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMLQKind),
@@ -613,13 +636,13 @@ func BuildRBidiag(g *sched.Graph, sh Shape, data *tile.Matrix, cfg Config) (Shap
 		for i := 0; i < rsh.P; i++ {
 			ri, rj := i, j
 			if i <= j {
-				var run func()
+				var run func(*nla.Workspace)
 				if data != nil {
 					src := data.Tile(i, j)
 					dst := rdata.Tile(i, j)
 					rows := rsh.RowsOf(i)
 					diag := i == j
-					run = func() {
+					run = func(*nla.Workspace) {
 						nla.CopyInto(dst, src.View(0, 0, rows, dst.Cols))
 						if diag {
 							// The source tile stores Householder vectors
@@ -637,10 +660,10 @@ func BuildRBidiag(g *sched.Graph, sh Shape, data *tile.Matrix, cfg Config) (Shap
 					sched.W(rb.hd(i, j)), sched.W(rb.hu(i, j)), sched.W(rb.hl(i, j)),
 				).SetCoords(ri, rj, -1)
 			} else {
-				var run func()
+				var run func(*nla.Workspace)
 				if data != nil {
 					dst := rdata.Tile(i, j)
-					run = func() { dst.Zero() }
+					run = func(*nla.Workspace) { dst.Zero() }
 				}
 				g.AddTask(kernels.LASETKind, cfg.owner(i, j), 0, 0, run,
 					sched.W(rb.hd(i, j)), sched.W(rb.hu(i, j)), sched.W(rb.hl(i, j)),

@@ -57,6 +57,10 @@ type RecStage struct {
 // enable recording (real-data builds only).
 type Recorder struct {
 	Stages []*RecStage
+	// Blocking is the GEMM cache blocking the apply stages execute under;
+	// buildAndRun copies Config.Blocking here so the vector-application
+	// graphs run with the same blocking as the reduction itself.
+	Blocking nla.Blocking
 }
 
 func (r *Recorder) newStage(sh Shape) *RecStage {
@@ -80,7 +84,7 @@ func (r *Recorder) ApplyLeftAll(ub *nla.Matrix, workers int) *nla.Matrix {
 		dense := c.ToDense()
 		nla.CopyInto(dense.View(0, 0, cur.Rows, cur.Cols), cur)
 		c = tile.FromDense(dense, st.Sh.NB)
-		st.applyLeft(c, workers)
+		st.applyLeft(c, workers, r.Blocking)
 		cur = c.ToDense()
 	}
 	return cur
@@ -99,7 +103,7 @@ func (r *Recorder) ApplyRightAll(vbt *nla.Matrix, workers int) *nla.Matrix {
 			continue
 		}
 		c := tile.FromDense(cur, st.Sh.NB)
-		st.applyRight(c, workers)
+		st.applyRight(c, workers, r.Blocking)
 		cur = c.ToDense()
 	}
 	return cur
@@ -107,8 +111,9 @@ func (r *Recorder) ApplyRightAll(vbt *nla.Matrix, workers int) *nla.Matrix {
 
 // applyLeft applies the stage's left product (no-trans, reverse order) to
 // the tiled matrix c, whose row tiling must match the stage shape.
-func (st *RecStage) applyLeft(c *tile.Matrix, workers int) {
+func (st *RecStage) applyLeft(c *tile.Matrix, workers int, bl nla.Blocking) {
 	g := sched.NewGraph()
+	g.Blocking = bl
 	handles := make([]*sched.Handle, c.P*c.Q)
 	for i := range handles {
 		handles[i] = g.NewHandle(1, 0)
@@ -121,23 +126,26 @@ func (st *RecStage) applyLeft(c *tile.Matrix, workers int) {
 			switch rec.kind {
 			case recGEQRT:
 				ct := c.Tile(rec.row, jc)
-				g.AddTask(kernels.UNMQRKind, 0, 6, 0, func() {
-					kernels.UNMQR(false, rec.kk, rec.v.View(0, 0, ct.Rows, rec.kk), rec.t, ct)
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.UNMQRKind, ct.Rows, ct.Cols, rec.kk, g.Blocking))
+				g.AddTask(kernels.UNMQRKind, 0, 6, 0, func(ws *nla.Workspace) {
+					kernels.UNMQR(false, rec.kk, rec.v.View(0, 0, ct.Rows, rec.kk), rec.t, ct, ws)
 				}, sched.RW(h(rec.row, jc)))
 			case recTS:
 				c1 := c.Tile(rec.piv, jc)
 				c2 := c.Tile(rec.row, jc)
-				g.AddTask(kernels.TSMQRKind, 0, 12, 0, func() {
-					kernels.TSMQR(false, rec.kk, rec.v, rec.t, c1, c2)
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.TSMQRKind, c2.Rows, c2.Cols, rec.kk, g.Blocking))
+				g.AddTask(kernels.TSMQRKind, 0, 12, 0, func(ws *nla.Workspace) {
+					kernels.TSMQR(false, rec.kk, rec.v, rec.t, c1, c2, ws)
 				}, sched.RW(h(rec.piv, jc)), sched.RW(h(rec.row, jc)))
 			case recTT:
 				c1 := c.Tile(rec.piv, jc)
 				c2 := c.Tile(rec.row, jc)
 				w := rec.kk
-				g.AddTask(kernels.TTMQRKind, 0, 6, 0, func() {
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.TTMQRKind, 0, c2.Cols, w, g.Blocking))
+				g.AddTask(kernels.TTMQRKind, 0, 6, 0, func(ws *nla.Workspace) {
 					kernels.TTMQR(false, w,
 						rec.v.View(0, 0, min(rec.v.Rows, w), w), rec.t,
-						c1, c2.View(0, 0, min(c2.Rows, w), c2.Cols))
+						c1, c2.View(0, 0, min(c2.Rows, w), c2.Cols), ws)
 				}, sched.RW(h(rec.piv, jc)), sched.RW(h(rec.row, jc)))
 			}
 		}
@@ -147,8 +155,9 @@ func (st *RecStage) applyLeft(c *tile.Matrix, workers int) {
 
 // applyRight applies the stage's right product (no-trans, reverse order)
 // to the tiled matrix c, whose column tiling must match the stage shape.
-func (st *RecStage) applyRight(c *tile.Matrix, workers int) {
+func (st *RecStage) applyRight(c *tile.Matrix, workers int, bl nla.Blocking) {
 	g := sched.NewGraph()
+	g.Blocking = bl
 	handles := make([]*sched.Handle, c.P*c.Q)
 	for i := range handles {
 		handles[i] = g.NewHandle(1, 0)
@@ -161,23 +170,26 @@ func (st *RecStage) applyRight(c *tile.Matrix, workers int) {
 			switch rec.kind {
 			case recGELQT:
 				ct := c.Tile(ic, rec.row)
-				g.AddTask(kernels.UNMLQKind, 0, 6, 0, func() {
-					kernels.UNMLQ(false, rec.kk, rec.v.View(0, 0, rec.kk, ct.Cols), rec.t, ct)
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.UNMLQKind, ct.Rows, ct.Cols, rec.kk, g.Blocking))
+				g.AddTask(kernels.UNMLQKind, 0, 6, 0, func(ws *nla.Workspace) {
+					kernels.UNMLQ(false, rec.kk, rec.v.View(0, 0, rec.kk, ct.Cols), rec.t, ct, ws)
 				}, sched.RW(h(ic, rec.row)))
 			case recTSL:
 				c1 := c.Tile(ic, rec.piv)
 				c2 := c.Tile(ic, rec.row)
-				g.AddTask(kernels.TSMLQKind, 0, 12, 0, func() {
-					kernels.TSMLQ(false, rec.kk, rec.v, rec.t, c1, c2)
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.TSMLQKind, c2.Rows, c2.Cols, rec.kk, g.Blocking))
+				g.AddTask(kernels.TSMLQKind, 0, 12, 0, func(ws *nla.Workspace) {
+					kernels.TSMLQ(false, rec.kk, rec.v, rec.t, c1, c2, ws)
 				}, sched.RW(h(ic, rec.piv)), sched.RW(h(ic, rec.row)))
 			case recTTL:
 				c1 := c.Tile(ic, rec.piv)
 				c2 := c.Tile(ic, rec.row)
 				hh := rec.kk
-				g.AddTask(kernels.TTMLQKind, 0, 6, 0, func() {
+				g.NeedScratch(kernels.ScratchSizeFor(kernels.TTMLQKind, c1.Rows, 0, hh, g.Blocking))
+				g.AddTask(kernels.TTMLQKind, 0, 6, 0, func(ws *nla.Workspace) {
 					kernels.TTMLQ(false, hh,
 						rec.v.View(0, 0, hh, min(rec.v.Cols, hh)), rec.t,
-						c1, c2.View(0, 0, c2.Rows, min(c2.Cols, hh)))
+						c1, c2.View(0, 0, c2.Rows, min(c2.Cols, hh)), ws)
 				}, sched.RW(h(ic, rec.piv)), sched.RW(h(ic, rec.row)))
 			}
 		}

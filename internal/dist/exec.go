@@ -212,6 +212,9 @@ func (e *engine) nodeOf(t *sched.Task) int32 {
 
 func (e *engine) worker(nd *execNode, wg *sync.WaitGroup) {
 	defer wg.Done()
+	// Each node-pool worker owns one max-sized workspace, mirroring the
+	// shared-memory executor: the node's steady state is allocation-free.
+	ws := e.g.NewWorkspace()
 	for {
 		nd.mu.Lock()
 		for len(nd.ready) == 0 && !e.isDone() {
@@ -226,7 +229,7 @@ func (e *engine) worker(nd *execNode, wg *sync.WaitGroup) {
 
 		begin := time.Now()
 		if t.Run != nil {
-			t.Run()
+			t.Run(ws)
 		}
 		d := time.Since(begin)
 		nd.mu.Lock()

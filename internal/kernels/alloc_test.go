@@ -1,0 +1,164 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+type kernelCase struct {
+	kind Kind
+	run  func(ws *nla.Workspace)
+}
+
+// kernelCases builds one steady-state invocation per QR/LQ kernel at tile
+// size nb; factor kernels restore their inputs so repeated runs stay
+// numerically sane.
+func kernelCases(nb int) []kernelCase {
+	rng := rand.New(rand.NewSource(3))
+
+	mk := func() *nla.Matrix { return nla.RandomMatrix(rng, nb, nb) }
+	tri := func() *nla.Matrix {
+		m := mk()
+		for j := 0; j < nb; j++ {
+			for i := j + 1; i < nb; i++ {
+				m.Set(i, j, 0)
+			}
+		}
+		return m
+	}
+	ltri := func() *nla.Matrix { return tri().Transpose() }
+
+	tm := nla.NewMatrix(nb, nb)
+	tau := make([]float64, nb)
+
+	return []kernelCase{
+		{GEQRTKind, func() func(*nla.Workspace) {
+			a, orig := mk(), nla.NewMatrix(nb, nb)
+			nla.CopyInto(orig, a)
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a, orig)
+				GEQRT(a, tm, tau, ws)
+			}
+		}()},
+		{UNMQRKind, func() func(*nla.Workspace) {
+			a := mk()
+			GEQRT(a, tm, tau, nil)
+			c := mk()
+			return func(ws *nla.Workspace) { UNMQR(true, nb, a, tm, c, ws) }
+		}()},
+		{TSQRTKind, func() func(*nla.Workspace) {
+			a1, a2 := tri(), mk()
+			o1, o2 := a1.Clone(), a2.Clone()
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a1, o1)
+				nla.CopyInto(a2, o2)
+				TSQRT(a1, a2, tm, tau, ws)
+			}
+		}()},
+		{TSMQRKind, func() func(*nla.Workspace) {
+			a1, a2 := tri(), mk()
+			TSQRT(a1, a2, tm, tau, nil)
+			c1, c2 := mk(), mk()
+			return func(ws *nla.Workspace) { TSMQR(true, nb, a2, tm, c1, c2, ws) }
+		}()},
+		{TTQRTKind, func() func(*nla.Workspace) {
+			a1, a2 := tri(), tri()
+			o1, o2 := a1.Clone(), a2.Clone()
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a1, o1)
+				nla.CopyInto(a2, o2)
+				TTQRT(a1, a2, tm, tau, ws)
+			}
+		}()},
+		{TTMQRKind, func() func(*nla.Workspace) {
+			a1, a2 := tri(), tri()
+			TTQRT(a1, a2, tm, tau, nil)
+			c1, c2 := mk(), mk()
+			return func(ws *nla.Workspace) { TTMQR(true, nb, a2, tm, c1, c2, ws) }
+		}()},
+		{GELQTKind, func() func(*nla.Workspace) {
+			a, orig := mk(), nla.NewMatrix(nb, nb)
+			nla.CopyInto(orig, a)
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a, orig)
+				GELQT(a, tm, tau, ws)
+			}
+		}()},
+		{UNMLQKind, func() func(*nla.Workspace) {
+			a := mk()
+			GELQT(a, tm, tau, nil)
+			c := mk()
+			return func(ws *nla.Workspace) { UNMLQ(true, nb, a, tm, c, ws) }
+		}()},
+		{TSLQTKind, func() func(*nla.Workspace) {
+			a1, a2 := ltri(), mk()
+			o1, o2 := a1.Clone(), a2.Clone()
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a1, o1)
+				nla.CopyInto(a2, o2)
+				TSLQT(a1, a2, tm, tau, ws)
+			}
+		}()},
+		{TSMLQKind, func() func(*nla.Workspace) {
+			a1, a2 := ltri(), mk()
+			TSLQT(a1, a2, tm, tau, nil)
+			c1, c2 := mk(), mk()
+			return func(ws *nla.Workspace) { TSMLQ(true, nb, a2, tm, c1, c2, ws) }
+		}()},
+		{TTLQTKind, func() func(*nla.Workspace) {
+			a1, a2 := ltri(), ltri()
+			o1, o2 := a1.Clone(), a2.Clone()
+			return func(ws *nla.Workspace) {
+				nla.CopyInto(a1, o1)
+				nla.CopyInto(a2, o2)
+				TTLQT(a1, a2, tm, tau, ws)
+			}
+		}()},
+		{TTMLQKind, func() func(*nla.Workspace) {
+			a1, a2 := ltri(), ltri()
+			TTLQT(a1, a2, tm, tau, nil)
+			c1, c2 := mk(), mk()
+			return func(ws *nla.Workspace) { TTMLQ(true, nb, a2, tm, c1, c2, ws) }
+		}()},
+	}
+
+}
+
+// The executors hand every worker one warm, max-sized workspace; with that
+// in place no kernel may allocate on the hot path. These tests pin the
+// contract: AllocsPerRun == 0 for every QR/LQ kernel once the workspace
+// supplied by ScratchSize is warm, and the workspace never grows.
+func TestKernelsZeroAlloc(t *testing.T) {
+	const nb = 48
+	for _, tc := range kernelCases(nb) {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			ws := nla.NewWorkspace(ScratchSize(tc.kind, nb, nb, nb))
+			tc.run(ws) // warm
+			if n := testing.AllocsPerRun(10, func() { tc.run(ws) }); n != 0 {
+				t.Fatalf("%s allocated %v times per run with a warm workspace", tc.kind, n)
+			}
+			if ws.Grows() != 0 {
+				t.Fatalf("%s: workspace sized by ScratchSize grew %d times", tc.kind, ws.Grows())
+			}
+		})
+	}
+}
+
+// BenchmarkKernels measures the steady-state per-kernel rates with a warm
+// per-worker workspace — the configuration the executors run. Allocs/op
+// must be 0 for every kernel.
+func BenchmarkKernels(b *testing.B) {
+	const nb = 128
+	for _, tc := range kernelCases(nb) {
+		ws := nla.NewWorkspace(ScratchSize(tc.kind, nb, nb, nb))
+		tc.run(ws) // warm
+		b.Run(tc.kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tc.run(ws)
+			}
+		})
+	}
+}

@@ -35,4 +35,34 @@
 // operation counts used by the machine model; the compact-WY T build is
 // excluded there because the inner-blocked (ib ≪ nb) kernels of the paper
 // make it a lower-order term.
+//
+// # Workspaces
+//
+// No kernel allocates on its hot path. Each takes a trailing
+// *nla.Workspace and checks its scratch out of that arena (releasing it
+// on return); ScratchSize(kind, m, n, k) is the sizing contract, and the
+// executors hand every worker one warm workspace sized to the graph's
+// largest task. For square nb×nb tiles the Table I weight and the scratch
+// requirement of each kernel are:
+//
+//	kernel  weight  scratch (float64s, nb×nb tiles)
+//	GEQRT     4     nb                        staged T column
+//	UNMQR     6     nb² + gemm pack           W panel (tail GEMMs when m>k)
+//	TSQRT     6     nb                        staged T column
+//	TSMQR    12     nb² + gemm pack           W panel + packed V2/C2 panels
+//	TTQRT     2     nb                        staged T column
+//	TTMQR     6     nb²                       W panel (trapezoidal V2, no GEMM)
+//	GELQT     4     2·nb                      reflector row + staged T column
+//	UNMLQ     6     nb² + gemm pack           W panel (tail GEMMs when n>k)
+//	TSLQT     6     3·nb                      two staged rows + T column
+//	TSMLQ    12     nb² + gemm pack           W panel + packed C2/V2 panels
+//	TTLQT     2     3·nb                      two staged rows + T column
+//	TTMLQ     6     nb²                       W panel (trapezoidal V2, no GEMM)
+//	LACPY     0     —
+//	LASET     0     —
+//
+// "gemm pack" is nla.GemmScratchFor for the kernel's largest product: the
+// GEMM-rich kernels (the TS family and the UNM tails) bottom out in the
+// packed, register-tiled nla.GemmWS, whose A/B panels are packed into the
+// same workspace.
 package kernels

@@ -10,13 +10,15 @@ import (
 // P = H₁···H_k = I − Ṽ·T·Ṽᵀ (Ṽ = V_storedᵀ), A·P = L, i.e. A = L·Q with
 // Q = Pᵀ. tau receives the k = min(m,n) scalar factors, t the k×k upper
 // triangular factor.
-func GELQT(a, t *nla.Matrix, tau []float64) {
+func GELQT(a, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) < k || t.Rows < k || t.Cols < k {
 		panic("kernels: GELQT: workspace too small")
 	}
-	row := make([]float64, n) // scratch for the current reflector row
+	ws, mark := grab(ws)
+	row := ws.ScratchVec(n) // scratch for the current reflector row
+	tri := ws.ScratchVec(k)
 	for i := 0; i < k; i++ {
 		// Generate H_i from row i right of the diagonal.
 		tail := row[:n-i-1]
@@ -53,23 +55,25 @@ func GELQT(a, t *nla.Matrix, tau []float64) {
 			}
 			t.Data[l+i*t.LD] = s
 		}
-		scaleTriColumn(t, i, -ti)
+		scaleTriColumn(t, i, -ti, tri)
 		t.Data[i+i*t.LD] = ti
 	}
+	ws.Release(mark)
 }
 
 // UNMLQ overwrites c (m×n) with c·P (trans=true, the factorization update
 // C·Qᵀ) or c·Q (trans=false), where the row reflectors are held in the first
 // k rows of v (unit-upper storage from GELQT) and t is the k×k factor.
-func UNMLQ(trans bool, k int, v, t, c *nla.Matrix) {
+func UNMLQ(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 	m, n := c.Rows, c.Cols
 	if v.Cols != n {
 		panic("kernels: UNMLQ: V and C column mismatch")
 	}
+	ws, mark := grab(ws)
 	// W = C·Ṽ = C·V_storedᵀ, m×k with unit-upper V rows. As in UNMQR, the
 	// head (columns < k of C against the unit-triangular head of V) is a
 	// short triangular update and the tail a plain GEMM.
-	w := nla.NewMatrix(m, k)
+	w := ws.Scratch(m, k)
 	for trow := 0; trow < k; trow++ {
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
 		copy(wc, c.Data[trow*c.LD:trow*c.LD+m])
@@ -85,7 +89,7 @@ func UNMLQ(trans bool, k int, v, t, c *nla.Matrix) {
 		}
 	}
 	if n > k {
-		nla.Gemm(false, true, 1, c.View(0, k, m, n-k), v.View(0, k, k, n-k), 1, w)
+		nla.GemmWS(false, true, 1, c.View(0, k, m, n-k), v.View(0, k, k, n-k), 1, w, ws)
 	}
 	applyTRight(trans, k, t, w)
 	// C(:,0:k) −= W·V1 (unit-upper head), C(:,k:n) −= W·V2.
@@ -107,13 +111,16 @@ func UNMLQ(trans bool, k int, v, t, c *nla.Matrix) {
 		}
 	}
 	if n > k {
-		nla.Gemm(false, false, -1, w, v.View(0, k, k, n-k), 1, c.View(0, k, m, n-k))
+		nla.GemmWS(false, false, -1, w, v.View(0, k, k, n-k), 1, c.View(0, k, m, n-k), ws)
 	}
+	ws.Release(mark)
 }
 
 // applyTRight overwrites the m×k workspace with W·op(T), where T is k×k
 // upper triangular; op(T) = T when trans is true (the C·P update used by the
-// factorizations) and Tᵀ otherwise.
+// factorizations) and Tᵀ otherwise. Source columns are combined four at a
+// time: one store per four scaled-column additions instead of one each,
+// which is what keeps this kernel off the store-port limit.
 func applyTRight(trans bool, k int, t, w *nla.Matrix) {
 	m := w.Rows
 	if trans {
@@ -125,8 +132,20 @@ func applyTRight(trans bool, k int, t, w *nla.Matrix) {
 			for i := range wj {
 				wj[i] *= djj
 			}
-			for l := 0; l < j; l++ {
-				tl := t.Data[l+j*t.LD]
+			tc := t.Data[j*t.LD : j*t.LD+j]
+			var l int
+			for ; l+4 <= j; l += 4 {
+				t0, t1, t2, t3 := tc[l], tc[l+1], tc[l+2], tc[l+3]
+				w0 := w.Data[l*w.LD : l*w.LD+m]
+				w1 := w.Data[(l+1)*w.LD : (l+1)*w.LD+m]
+				w2 := w.Data[(l+2)*w.LD : (l+2)*w.LD+m]
+				w3 := w.Data[(l+3)*w.LD : (l+3)*w.LD+m]
+				for i := range wj {
+					wj[i] += t0*w0[i] + t1*w1[i] + t2*w2[i] + t3*w3[i]
+				}
+			}
+			for ; l < j; l++ {
+				tl := tc[l]
 				if tl == 0 {
 					continue
 				}
@@ -144,7 +163,21 @@ func applyTRight(trans bool, k int, t, w *nla.Matrix) {
 			for i := range wj {
 				wj[i] *= djj
 			}
-			for l := j + 1; l < k; l++ {
+			var l = j + 1
+			for ; l+4 <= k; l += 4 {
+				t0 := t.Data[j+l*t.LD]
+				t1 := t.Data[j+(l+1)*t.LD]
+				t2 := t.Data[j+(l+2)*t.LD]
+				t3 := t.Data[j+(l+3)*t.LD]
+				w0 := w.Data[l*w.LD : l*w.LD+m]
+				w1 := w.Data[(l+1)*w.LD : (l+1)*w.LD+m]
+				w2 := w.Data[(l+2)*w.LD : (l+2)*w.LD+m]
+				w3 := w.Data[(l+3)*w.LD : (l+3)*w.LD+m]
+				for i := range wj {
+					wj[i] += t0*w0[i] + t1*w1[i] + t2*w2[i] + t3*w3[i]
+				}
+			}
+			for ; l < k; l++ {
 				tl := t.Data[j+l*t.LD]
 				if tl == 0 {
 					continue
@@ -161,14 +194,16 @@ func applyTRight(trans bool, k int, t, w *nla.Matrix) {
 // TSLQT factors the triangle-on-square LQ pair [L, A2] (side by side):
 // a1 is the m×m lower-triangular tile updated in place, a2 an m×n dense
 // tile that receives the row-reflector tails: v_i = [e_i, a2(i,:)].
-func TSLQT(a1, a2, t *nla.Matrix, tau []float64) {
+func TSLQT(a1, a2, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	m := a1.Rows
 	n := a2.Cols
 	if a1.Cols < m || a2.Rows != m || len(tau) < m || t.Rows < m || t.Cols < m {
 		panic("kernels: TSLQT: shape mismatch")
 	}
-	rowi := make([]float64, n)
-	rowii := make([]float64, n)
+	ws, mark := grab(ws)
+	rowi := ws.ScratchVec(n)
+	rowii := ws.ScratchVec(n)
+	tri := ws.ScratchVec(m)
 	for i := 0; i < m; i++ {
 		for c := 0; c < n; c++ {
 			rowi[c] = a2.Data[i+c*a2.LD]
@@ -200,15 +235,16 @@ func TSLQT(a1, a2, t *nla.Matrix, tau []float64) {
 			}
 			t.Data[l+i*t.LD] = s
 		}
-		scaleTriColumn(t, i, -ti)
+		scaleTriColumn(t, i, -ti, tri)
 		t.Data[i+i*t.LD] = ti
 	}
+	ws.Release(mark)
 }
 
 // TSMLQ applies the TSLQT transformation (k reflectors, tails v2, factor t)
 // to the tile pair [C1, C2] from the right; trans=true applies the
 // factorization update C·P. Only the first k columns of c1 participate.
-func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	m := c1.Rows
 	n2 := c2.Cols
 	if c2.Rows != m || v2.Cols != n2 || v2.Rows < k || c1.Cols < k {
@@ -216,11 +252,12 @@ func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 	}
 	// Dense-V2 GEMM form (dual of TSMQR): W = C1(:,0:k) + C2·V2ᵀ;
 	// W ← W·op(T); C1(:,0:k) −= W; C2 −= W·V2.
-	w := nla.NewMatrix(m, k)
+	ws, mark := grab(ws)
+	w := ws.Scratch(m, k)
 	vv := v2.View(0, 0, k, n2)
 	c1v := c1.View(0, 0, m, k)
 	nla.CopyInto(w, c1v)
-	nla.Gemm(false, true, 1, c2, vv, 1, w)
+	nla.GemmWS(false, true, 1, c2, vv, 1, w, ws)
 	applyTRight(trans, k, t, w)
 	for trow := 0; trow < k; trow++ {
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
@@ -229,7 +266,8 @@ func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 			cc[i] -= wc[i]
 		}
 	}
-	nla.Gemm(false, false, -1, w, vv, 1, c2)
+	nla.GemmWS(false, false, -1, w, vv, 1, c2, ws)
+	ws.Release(mark)
 }
 
 // TTLQT factors the triangle-on-triangle LQ pair [L1, L2]: a1 is the k×k
@@ -237,14 +275,16 @@ func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 // trapezoid when n2 < k) being annihilated; its lower part is overwritten
 // with the row-reflector tails. Row i's reflector involves only columns
 // 0..min(i+1,n2)-1 of a2.
-func TTLQT(a1, a2, t *nla.Matrix, tau []float64) {
+func TTLQT(a1, a2, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	k := a1.Rows
 	n2 := a2.Cols
 	if a2.Rows != k || len(tau) < k || t.Rows < k || t.Cols < k {
 		panic("kernels: TTLQT: shape mismatch")
 	}
-	rowi := make([]float64, n2)
-	rowii := make([]float64, n2)
+	ws, mark := grab(ws)
+	rowi := ws.ScratchVec(n2)
+	rowii := ws.ScratchVec(n2)
+	tri := ws.ScratchVec(k)
 	for i := 0; i < k; i++ {
 		r2 := min(i+1, n2)
 		for c := 0; c < r2; c++ {
@@ -277,21 +317,23 @@ func TTLQT(a1, a2, t *nla.Matrix, tau []float64) {
 			}
 			t.Data[l+i*t.LD] = s
 		}
-		scaleTriColumn(t, i, -ti)
+		scaleTriColumn(t, i, -ti, tri)
 		t.Data[i+i*t.LD] = ti
 	}
+	ws.Release(mark)
 }
 
 // TTMLQ applies the TTLQT transformation to the tile pair [C1, C2] from the
 // right; v2 holds the lower-trapezoidal row tails produced by TTLQT. Only
 // the first k columns of c1 participate.
-func TTMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+func TTMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	m := c1.Rows
 	n2 := c2.Cols
 	if c2.Rows != m || v2.Cols != n2 || v2.Rows < k || c1.Cols < k {
 		panic("kernels: TTMLQ: shape mismatch")
 	}
-	w := nla.NewMatrix(m, k)
+	ws, mark := grab(ws)
+	w := ws.Scratch(m, k)
 	for trow := 0; trow < k; trow++ {
 		r2 := min(trow+1, n2)
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
@@ -326,4 +368,5 @@ func TTMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 			}
 		}
 	}
+	ws.Release(mark)
 }

@@ -22,12 +22,12 @@ func TestGELQTDuality(t *testing.T) {
 		lq := a.Clone()
 		tLQ := nla.NewMatrix(k, k)
 		tauLQ := make([]float64, k)
-		GELQT(lq, tLQ, tauLQ)
+		GELQT(lq, tLQ, tauLQ, nil)
 
 		qr := a.Transpose()
 		tQR := nla.NewMatrix(k, k)
 		tauQR := make([]float64, k)
-		GEQRT(qr, tQR, tauQR)
+		GEQRT(qr, tQR, tauQR, nil)
 
 		if d := maxDiff(lq, qr.Transpose()); d > tol {
 			t.Fatalf("GELQT(%dx%d): factored tile differs from transpose dual: %g", m, n, d)
@@ -48,7 +48,7 @@ func TestGELQTLowerTriangularL(t *testing.T) {
 	a := nla.RandomMatrix(rng, 5, 8)
 	tm := nla.NewMatrix(5, 5)
 	tau := make([]float64, 5)
-	GELQT(a, tm, tau)
+	GELQT(a, tm, tau, nil)
 	// L·Qᵀ... the L part must satisfy ‖L‖F = ‖A‖F is covered elsewhere;
 	// here we check the strictly upper part holds reflector data while the
 	// lower part is the L factor: reconstruct via the QR dual oracle.
@@ -67,17 +67,17 @@ func TestUNMLQDuality(t *testing.T) {
 	panel := nla.RandomMatrix(rng, m, n)
 	tm := nla.NewMatrix(k, k)
 	tau := make([]float64, k)
-	GELQT(panel, tm, tau)
+	GELQT(panel, tm, tau, nil)
 
 	for _, trans := range []bool{true, false} {
 		c := nla.RandomMatrix(rng, 6, n)
 		got := c.Clone()
-		UNMLQ(trans, k, panel, tm, got)
+		UNMLQ(trans, k, panel, tm, got, nil)
 
 		// Dual: (C·op(P))ᵀ = op(P)ᵀ·Cᵀ. With V=panelᵀ unit-lower and the
 		// same T: UNMLQ(trans=true) == UNMQR(trans=true) on Cᵀ.
 		ct := c.Transpose()
-		UNMQR(trans, k, panel.Transpose(), tm, ct)
+		UNMQR(trans, k, panel.Transpose(), tm, ct, nil)
 		if d := maxDiff(got, ct.Transpose()); d > tol {
 			t.Fatalf("UNMLQ trans=%v disagrees with dual: %g", trans, d)
 		}
@@ -93,10 +93,10 @@ func TestUNMLQProducesL(t *testing.T) {
 	orig := a.Clone()
 	tm := nla.NewMatrix(m, m)
 	tau := make([]float64, m)
-	GELQT(a, tm, tau)
+	GELQT(a, tm, tau, nil)
 
 	c := orig.Clone()
-	UNMLQ(true, m, a, tm, c)
+	UNMLQ(true, m, a, tm, c, nil)
 	for i := 0; i < m; i++ {
 		for j := 0; j <= i && j < n; j++ {
 			if d := c.At(i, j) - a.At(i, j); d > tol || d < -tol {
@@ -122,11 +122,11 @@ func TestTSLQTDuality(t *testing.T) {
 
 		tLQ := nla.NewMatrix(m, m)
 		tauLQ := make([]float64, m)
-		TSLQT(a1, a2, tLQ, tauLQ)
+		TSLQT(a1, a2, tLQ, tauLQ, nil)
 
 		tQR := nla.NewMatrix(m, m)
 		tauQR := make([]float64, m)
-		TSQRT(d1, d2, tQR, tauQR)
+		TSQRT(d1, d2, tQR, tauQR, nil)
 
 		if d := maxDiff(a1, d1.Transpose()); d > tol {
 			t.Fatalf("TSLQT(%d,%d): L differs from dual: %g", m, n, d)
@@ -147,16 +147,16 @@ func TestTSMLQDuality(t *testing.T) {
 	a2 := nla.RandomMatrix(rng, m, n2)
 	tm := nla.NewMatrix(m, m)
 	tau := make([]float64, m)
-	TSLQT(a1, a2, tm, tau)
+	TSLQT(a1, a2, tm, tau, nil)
 
 	for _, trans := range []bool{true, false} {
 		c1 := nla.RandomMatrix(rng, mc, m)
 		c2 := nla.RandomMatrix(rng, mc, n2)
 		g1, g2 := c1.Clone(), c2.Clone()
-		TSMLQ(trans, m, a2, tm, g1, g2)
+		TSMLQ(trans, m, a2, tm, g1, g2, nil)
 
 		d1, d2 := c1.Transpose(), c2.Transpose()
-		TSMQR(trans, m, a2.Transpose(), tm, d1, d2)
+		TSMQR(trans, m, a2.Transpose(), tm, d1, d2, nil)
 		if d := maxDiff(g1, d1.Transpose()); d > tol {
 			t.Fatalf("TSMLQ trans=%v: C1 differs from dual: %g", trans, d)
 		}
@@ -174,12 +174,12 @@ func TestTSMLQWideC1(t *testing.T) {
 	a2 := nla.RandomMatrix(rng, m, n2)
 	tm := nla.NewMatrix(m, m)
 	tau := make([]float64, m)
-	TSLQT(a1, a2, tm, tau)
+	TSLQT(a1, a2, tm, tau, nil)
 
 	c1 := nla.RandomMatrix(rng, 5, 6) // 6 > m columns
 	c2 := nla.RandomMatrix(rng, 5, n2)
 	c1in := c1.Clone()
-	TSMLQ(true, m, a2, tm, c1, c2)
+	TSMLQ(true, m, a2, tm, c1, c2, nil)
 	if d := maxDiff(c1.View(0, m, 5, 3), c1in.View(0, m, 5, 3)); d != 0 {
 		t.Fatalf("columns beyond k modified: %g", d)
 	}
@@ -195,11 +195,11 @@ func TestTTLQTDuality(t *testing.T) {
 
 		tLQ := nla.NewMatrix(k, k)
 		tauLQ := make([]float64, k)
-		TTLQT(a1, a2, tLQ, tauLQ)
+		TTLQT(a1, a2, tLQ, tauLQ, nil)
 
 		tQR := nla.NewMatrix(k, k)
 		tauQR := make([]float64, k)
-		TTQRT(d1, d2, tQR, tauQR)
+		TTQRT(d1, d2, tQR, tauQR, nil)
 
 		if d := maxDiff(a1, d1.Transpose()); d > tol {
 			t.Fatalf("TTLQT n2=%d: L differs from dual: %g", n2, d)
@@ -220,16 +220,16 @@ func TestTTMLQDuality(t *testing.T) {
 	a2 := upperR(nla.RandomMatrix(rng, n2, k)).Transpose()
 	tm := nla.NewMatrix(k, k)
 	tau := make([]float64, k)
-	TTLQT(a1, a2, tm, tau)
+	TTLQT(a1, a2, tm, tau, nil)
 
 	for _, trans := range []bool{true, false} {
 		c1 := nla.RandomMatrix(rng, mc, k)
 		c2 := nla.RandomMatrix(rng, mc, n2)
 		g1, g2 := c1.Clone(), c2.Clone()
-		TTMLQ(trans, k, a2, tm, g1, g2)
+		TTMLQ(trans, k, a2, tm, g1, g2, nil)
 
 		d1, d2 := c1.Transpose(), c2.Transpose()
-		TTMQR(trans, k, a2.Transpose(), tm, d1, d2)
+		TTMQR(trans, k, a2.Transpose(), tm, d1, d2, nil)
 		if d := maxDiff(g1, d1.Transpose()); d > tol {
 			t.Fatalf("TTMLQ trans=%v: C1 differs from dual: %g", trans, d)
 		}
@@ -255,9 +255,9 @@ func TestTSLQTChainNormPreservation(t *testing.T) {
 		}
 		tm := nla.NewMatrix(nb, nb)
 		tau := make([]float64, nb)
-		GELQT(tiles[0], tm, tau)
+		GELQT(tiles[0], tm, tau, nil)
 		for i := 1; i < cols; i++ {
-			TSLQT(tiles[0], tiles[i], tm, tau)
+			TSLQT(tiles[0], tiles[i], tm, tau, nil)
 		}
 		l := upperR(tiles[0].Transpose()).Transpose()
 		diff := l.FrobeniusNorm()*l.FrobeniusNorm() - ssq

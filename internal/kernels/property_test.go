@@ -20,7 +20,7 @@ func TestGEQRTReconstructionProperty(t *testing.T) {
 		k := min(m, n)
 		tm := nla.NewMatrix(k, k)
 		tau := make([]float64, k)
-		GEQRT(a, tm, tau)
+		GEQRT(a, tm, tau, nil)
 		q := explicitQ(unitLowerV(a, k), tm)
 		if nla.OrthogonalityError(q) > 1e-12 {
 			return false
@@ -44,7 +44,7 @@ func TestTSQRTProperty(t *testing.T) {
 		f1, f2 := r1.FrobeniusNorm(), a2.FrobeniusNorm()
 		tm := nla.NewMatrix(n, n)
 		tau := make([]float64, n)
-		TSQRT(r1, a2, tm, tau)
+		TSQRT(r1, a2, tm, tau, nil)
 		rOut := upperR(r1).FrobeniusNorm()
 		want := f1*f1 + f2*f2
 		got := rOut * rOut
@@ -65,11 +65,11 @@ func TestUNMQRRoundTripProperty(t *testing.T) {
 		a := nla.RandomMatrix(rng, m, n)
 		tm := nla.NewMatrix(n, n)
 		tau := make([]float64, n)
-		GEQRT(a, tm, tau)
+		GEQRT(a, tm, tau, nil)
 		c := nla.RandomMatrix(rng, m, nc)
 		want := c.Clone()
-		UNMQR(true, n, a, tm, c)
-		UNMQR(false, n, a, tm, c)
+		UNMQR(true, n, a, tm, c, nil)
+		UNMQR(false, n, a, tm, c, nil)
 		return maxDiff(c, want) < 1e-11
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -90,12 +90,12 @@ func TestLQDualityProperty(t *testing.T) {
 		lq := a.Clone()
 		tLQ := nla.NewMatrix(k, k)
 		tauLQ := make([]float64, k)
-		GELQT(lq, tLQ, tauLQ)
+		GELQT(lq, tLQ, tauLQ, nil)
 
 		qr := a.Transpose()
 		tQR := nla.NewMatrix(k, k)
 		tauQR := make([]float64, k)
-		GEQRT(qr, tQR, tauQR)
+		GEQRT(qr, tQR, tauQR, nil)
 
 		return maxDiff(lq, qr.Transpose()) < 1e-11 && maxDiff(tLQ, tQR) < 1e-11
 	}
@@ -122,15 +122,15 @@ func TestTTReductionMatchesDirectQR(t *testing.T) {
 		tm := nla.NewMatrix(nb, nb)
 		tau := make([]float64, nb)
 		for i := range tiles {
-			GEQRT(tiles[i], tm, tau)
+			GEQRT(tiles[i], tm, tau, nil)
 		}
 		for i := 1; i < rows; i++ {
-			TTQRT(tiles[0], tiles[i], tm, tau)
+			TTQRT(tiles[0], tiles[i], tm, tau, nil)
 		}
 		rTree := upperR(tiles[0])
 
 		tS := nla.NewMatrix(nb, nb)
-		GEQRT(stacked, tS, tau)
+		GEQRT(stacked, tS, tau, nil)
 		rDirect := upperR(stacked.View(0, 0, nb, nb))
 
 		// R factors agree up to row signs; compare absolute values.

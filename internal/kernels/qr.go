@@ -9,12 +9,17 @@ import (
 // part with the Householder vectors V (unit diagonal implicit). tau receives
 // the k = min(m,n) scalar factors and t the k×k upper-triangular block
 // reflector factor such that Q = I − V·T·Vᵀ.
-func GEQRT(a, t *nla.Matrix, tau []float64) {
+//
+// ws provides scratch (ScratchSize(GEQRTKind, m, n, 0) elements); nil
+// falls back to a throwaway workspace.
+func GEQRT(a, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) < k || t.Rows < k || t.Cols < k {
 		panic("kernels: GEQRT: workspace too small")
 	}
+	ws, mark := grab(ws)
+	tri := ws.ScratchVec(k)
 	for j := 0; j < k; j++ {
 		// Generate H_j from column j below the diagonal.
 		col := a.Data[j+j*a.LD:]
@@ -41,15 +46,16 @@ func GEQRT(a, t *nla.Matrix, tau []float64) {
 			}
 			t.Data[i+j*t.LD] = s
 		}
-		scaleTriColumn(t, j, -tj)
+		scaleTriColumn(t, j, -tj, tri)
 		t.Data[j+j*t.LD] = tj
 	}
+	ws.Release(mark)
 }
 
 // UNMQR overwrites c (m×n) with Qᵀ·c (trans=true) or Q·c (trans=false),
 // where Q is the compact-WY product held in the first k columns of v
 // (unit-lower storage from GEQRT) and the k×k factor t.
-func UNMQR(trans bool, k int, v, t, c *nla.Matrix) {
+func UNMQR(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 	m, n := c.Rows, c.Cols
 	if v.Rows != m {
 		panic("kernels: UNMQR: V and C row mismatch")
@@ -57,7 +63,8 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix) {
 	// Split V into its unit-lower k×k head V1 and dense tail V2 (dlarfb
 	// style): the V2 halves are plain GEMMs, the V1 halves short
 	// triangular updates.
-	w := nla.NewMatrix(k, n)
+	ws, mark := grab(ws)
+	w := ws.Scratch(k, n)
 	// W = V1ᵀ·C(0:k,:) (unit-lower triangular).
 	for j := 0; j < n; j++ {
 		cc := c.Data[j*c.LD : j*c.LD+m]
@@ -73,7 +80,7 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix) {
 	}
 	// W += V2ᵀ·C(k:m,:).
 	if m > k {
-		nla.Gemm(true, false, 1, v.View(k, 0, m-k, k), c.View(k, 0, m-k, n), 1, w)
+		nla.GemmWS(true, false, 1, v.View(k, 0, m-k, k), c.View(k, 0, m-k, n), 1, w, ws)
 	}
 	applyT(trans, k, t, w)
 	// C(0:k,:) −= V1·W (unit-lower), C(k:m,:) −= V2·W.
@@ -93,19 +100,59 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix) {
 		}
 	}
 	if m > k {
-		nla.Gemm(false, false, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n))
+		nla.GemmWS(false, false, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n), ws)
 	}
+	ws.Release(mark)
 }
 
 // applyT overwrites each column w of the k×n workspace with op(T)·w, where
 // T is k×k upper triangular, op(T) = Tᵀ when trans is true (the Qᵀ case).
+// Columns are processed four at a time: the four recurrence chains are
+// independent, which keeps the floating-point pipeline full.
 func applyT(trans bool, k int, t, w *nla.Matrix) {
 	n := w.Cols
-	for j := 0; j < n; j++ {
-		wc := w.Data[j*w.LD : j*w.LD+k]
+	var j int
+	for j = 0; j+4 <= n; j += 4 {
+		w0 := w.Data[j*w.LD : j*w.LD+k]
+		w1 := w.Data[(j+1)*w.LD : (j+1)*w.LD+k]
+		w2 := w.Data[(j+2)*w.LD : (j+2)*w.LD+k]
+		w3 := w.Data[(j+3)*w.LD : (j+3)*w.LD+k]
 		if trans {
 			// w ← Tᵀ w: w'(i) = Σ_{l ≤ i} T(l,i) w(l); compute top-down in
 			// reverse so original entries survive until read.
+			for i := k - 1; i >= 0; i-- {
+				tc := t.Data[i*t.LD : i*t.LD+i+1]
+				d := tc[i]
+				s0, s1, s2, s3 := d*w0[i], d*w1[i], d*w2[i], d*w3[i]
+				for l := 0; l < i; l++ {
+					tv := tc[l]
+					s0 += tv * w0[l]
+					s1 += tv * w1[l]
+					s2 += tv * w2[l]
+					s3 += tv * w3[l]
+				}
+				w0[i], w1[i], w2[i], w3[i] = s0, s1, s2, s3
+			}
+		} else {
+			// w ← T w: w'(i) = Σ_{l ≥ i} T(i,l) w(l); ascending order keeps
+			// the still-needed entries intact.
+			for i := 0; i < k; i++ {
+				d := t.Data[i+i*t.LD]
+				s0, s1, s2, s3 := d*w0[i], d*w1[i], d*w2[i], d*w3[i]
+				for l := i + 1; l < k; l++ {
+					tv := t.Data[i+l*t.LD]
+					s0 += tv * w0[l]
+					s1 += tv * w1[l]
+					s2 += tv * w2[l]
+					s3 += tv * w3[l]
+				}
+				w0[i], w1[i], w2[i], w3[i] = s0, s1, s2, s3
+			}
+		}
+	}
+	for ; j < n; j++ {
+		wc := w.Data[j*w.LD : j*w.LD+k]
+		if trans {
 			for i := k - 1; i >= 0; i-- {
 				s := t.Data[i+i*t.LD] * wc[i]
 				for l := 0; l < i; l++ {
@@ -114,8 +161,6 @@ func applyT(trans bool, k int, t, w *nla.Matrix) {
 				wc[i] = s
 			}
 		} else {
-			// w ← T w: w'(i) = Σ_{l ≥ i} T(i,l) w(l); ascending order keeps
-			// the still-needed entries intact.
 			for i := 0; i < k; i++ {
 				s := t.Data[i+i*t.LD] * wc[i]
 				for l := i + 1; l < k; l++ {
@@ -131,12 +176,14 @@ func applyT(trans bool, k int, t, w *nla.Matrix) {
 // upper-triangular tile updated in place and a2 is an m×n dense tile that
 // receives the Householder vector tails. t receives the n×n block reflector
 // factor. The reflectors have an implicit identity top: v_j = [e_j; a2(:,j)].
-func TSQRT(a1, a2, t *nla.Matrix, tau []float64) {
+func TSQRT(a1, a2, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	n := a1.Cols
 	m := a2.Rows
 	if a1.Rows < n || a2.Cols != n || len(tau) < n || t.Rows < n || t.Cols < n {
 		panic("kernels: TSQRT: shape mismatch")
 	}
+	ws, mark := grab(ws)
+	tri := ws.ScratchVec(n)
 	for j := 0; j < n; j++ {
 		colj := a2.Data[j*a2.LD : j*a2.LD+m]
 		beta, tj := nla.Larfg(a1.Data[j+j*a1.LD], colj)
@@ -156,19 +203,21 @@ func TSQRT(a1, a2, t *nla.Matrix, tau []float64) {
 		for i := 0; i < j; i++ {
 			t.Data[i+j*t.LD] = nla.Dot(a2.Data[i*a2.LD:i*a2.LD+m], colj)
 		}
-		scaleTriColumn(t, j, -tj)
+		scaleTriColumn(t, j, -tj, tri)
 		t.Data[j+j*t.LD] = tj
 	}
+	ws.Release(mark)
 }
 
 // scaleTriColumn overwrites t(0:j, j) with alpha * T(0:j,0:j) * t(0:j, j)
 // for upper-triangular T. Entry i reads original entries l ≥ i, so the
-// column is copied once before the triangular product.
-func scaleTriColumn(t *nla.Matrix, j int, alpha float64) {
+// column is staged once through the caller's scratch before the
+// triangular product.
+func scaleTriColumn(t *nla.Matrix, j int, alpha float64, scratch []float64) {
 	if j == 0 {
 		return
 	}
-	orig := make([]float64, j)
+	orig := scratch[:j]
 	for l := 0; l < j; l++ {
 		orig[l] = t.Data[l+j*t.LD]
 	}
@@ -185,7 +234,7 @@ func scaleTriColumn(t *nla.Matrix, j int, alpha float64) {
 // factor t) to the tile pair [C1; C2] from the left: with trans=true it
 // applies Qᵀ (the factorization update), with trans=false it applies Q.
 // Only the first k rows of c1 participate.
-func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	n := c1.Cols
 	m2 := c2.Rows
 	if c2.Cols != n || v2.Rows != m2 || v2.Cols < k || c1.Rows < k {
@@ -194,11 +243,12 @@ func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 	// The dense V2 block makes this the GEMM-rich kernel of the TS family
 	// (cost 12 in Table I): W = C1(0:k,:) + V2ᵀ·C2; W ← op(T)·W;
 	// C1(0:k,:) −= W; C2 −= V2·W.
-	w := nla.NewMatrix(k, n)
+	ws, mark := grab(ws)
+	w := ws.Scratch(k, n)
 	vv := v2.View(0, 0, m2, k)
 	c1v := c1.View(0, 0, k, n)
 	nla.CopyInto(w, c1v)
-	nla.Gemm(true, false, 1, vv, c2, 1, w)
+	nla.GemmWS(true, false, 1, vv, c2, 1, w, ws)
 	applyT(trans, k, t, w)
 	for j := 0; j < n; j++ {
 		wc := w.Data[j*w.LD : j*w.LD+k]
@@ -207,7 +257,8 @@ func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 			c1c[tcol] -= wc[tcol]
 		}
 	}
-	nla.Gemm(false, false, -1, vv, w, 1, c2)
+	nla.GemmWS(false, false, -1, vv, w, 1, c2, ws)
+	ws.Release(mark)
 }
 
 // TTQRT factors the triangle-on-triangle pair [R1; R2]: a1 is the k×k upper
@@ -215,12 +266,14 @@ func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 // m2 < k) being annihilated; its upper part is overwritten with the vector
 // tails. The reflector for column j only involves rows 0..min(j+1,m2)-1 of
 // a2, which is what makes the TT kernels cheaper than TS (Table I).
-func TTQRT(a1, a2, t *nla.Matrix, tau []float64) {
+func TTQRT(a1, a2, t *nla.Matrix, tau []float64, ws *nla.Workspace) {
 	k := a1.Cols
 	m2 := a2.Rows
 	if a2.Cols != k || len(tau) < k || t.Rows < k || t.Cols < k {
 		panic("kernels: TTQRT: shape mismatch")
 	}
+	ws, mark := grab(ws)
+	tri := ws.ScratchVec(k)
 	for j := 0; j < k; j++ {
 		r2 := min(j+1, m2)
 		colj := a2.Data[j*a2.LD : j*a2.LD+r2]
@@ -240,21 +293,23 @@ func TTQRT(a1, a2, t *nla.Matrix, tau []float64) {
 			ri := min(i+1, m2)
 			t.Data[i+j*t.LD] = nla.Dot(a2.Data[i*a2.LD:i*a2.LD+ri], a2.Data[j*a2.LD:j*a2.LD+ri])
 		}
-		scaleTriColumn(t, j, -tj)
+		scaleTriColumn(t, j, -tj, tri)
 		t.Data[j+j*t.LD] = tj
 	}
+	ws.Release(mark)
 }
 
 // TTMQR applies the TTQRT transformation to the tile pair [C1; C2] from the
 // left; v2 holds the upper-trapezoidal vector tails produced by TTQRT.
 // Only the first k rows of c1 participate.
-func TTMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
+func TTMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	n := c1.Cols
 	m2 := c2.Rows
 	if c2.Cols != n || v2.Rows != m2 || v2.Cols < k || c1.Rows < k {
 		panic("kernels: TTMQR: shape mismatch")
 	}
-	w := nla.NewMatrix(k, n)
+	ws, mark := grab(ws)
+	w := ws.Scratch(k, n)
 	for j := 0; j < n; j++ {
 		c2c := c2.Data[j*c2.LD:]
 		wc := w.Data[j*w.LD : j*w.LD+k]
@@ -275,4 +330,5 @@ func TTMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix) {
 			nla.Axpy(-wc[tcol], v2.Data[tcol*v2.LD:tcol*v2.LD+r2], c2c[:r2])
 		}
 	}
+	ws.Release(mark)
 }

@@ -56,7 +56,7 @@ func TestGEQRTReconstruction(t *testing.T) {
 		k := min(m, n)
 		tm := nla.NewMatrix(k, k)
 		tau := make([]float64, k)
-		GEQRT(a, tm, tau)
+		GEQRT(a, tm, tau, nil)
 
 		v := unitLowerV(a, k)
 		q := explicitQ(v, tm)
@@ -75,7 +75,7 @@ func TestGEQRTTauDiagonalOfT(t *testing.T) {
 	a := nla.RandomMatrix(rng, 7, 7)
 	tm := nla.NewMatrix(7, 7)
 	tau := make([]float64, 7)
-	GEQRT(a, tm, tau)
+	GEQRT(a, tm, tau, nil)
 	for i := 0; i < 7; i++ {
 		if tm.At(i, i) != tau[i] {
 			t.Fatalf("T diagonal should equal tau")
@@ -92,11 +92,11 @@ func TestUNMQRAppliesQT(t *testing.T) {
 		k := min(m, n)
 		tm := nla.NewMatrix(k, k)
 		tau := make([]float64, k)
-		GEQRT(a, tm, tau)
+		GEQRT(a, tm, tau, nil)
 
 		// Qᵀ·A_orig must equal R (padded with zeros below).
 		c := orig.Clone()
-		UNMQR(true, k, a, tm, c)
+		UNMQR(true, k, a, tm, c, nil)
 		r := upperR(a)
 		if d := maxDiff(c, r); d > tol {
 			t.Fatalf("UNMQR(trans) does not reproduce R: %g", d)
@@ -105,8 +105,8 @@ func TestUNMQRAppliesQT(t *testing.T) {
 		// Q·(Qᵀ·C) must round-trip a random C.
 		c2 := nla.RandomMatrix(rng, m, 6)
 		want := c2.Clone()
-		UNMQR(true, k, a, tm, c2)
-		UNMQR(false, k, a, tm, c2)
+		UNMQR(true, k, a, tm, c2, nil)
+		UNMQR(false, k, a, tm, c2, nil)
 		if d := maxDiff(c2, want); d > tol {
 			t.Fatalf("UNMQR round trip failed: %g", d)
 		}
@@ -119,12 +119,12 @@ func TestUNMQRMatchesExplicitQ(t *testing.T) {
 	a := nla.RandomMatrix(rng, m, n)
 	tm := nla.NewMatrix(n, n)
 	tau := make([]float64, n)
-	GEQRT(a, tm, tau)
+	GEQRT(a, tm, tau, nil)
 	q := explicitQ(unitLowerV(a, n), tm)
 
 	c := nla.RandomMatrix(rng, m, 5)
 	got := c.Clone()
-	UNMQR(true, n, a, tm, got)
+	UNMQR(true, n, a, tm, got, nil)
 	want := nla.MulATB(q, c)
 	if d := maxDiff(got, want); d > tol {
 		t.Fatalf("UNMQR disagrees with explicit Qᵀ: %g", d)
@@ -141,7 +141,7 @@ func TestTSQRTReconstruction(t *testing.T) {
 		r1in, a2in := r1.Clone(), a2.Clone()
 		tm := nla.NewMatrix(n, n)
 		tau := make([]float64, n)
-		TSQRT(r1, a2, tm, tau)
+		TSQRT(r1, a2, tm, tau, nil)
 
 		// Oracle: V = [I; V2], Q = I − V T Vᵀ; Qᵀ[R1in; A2in] = [R1out; 0].
 		v := nla.NewMatrix(n+m2, n)
@@ -175,7 +175,7 @@ func TestTSMQRMatchesExplicitQ(t *testing.T) {
 	a2 := nla.RandomMatrix(rng, m2, n)
 	tm := nla.NewMatrix(n, n)
 	tau := make([]float64, n)
-	TSQRT(r1, a2, tm, tau)
+	TSQRT(r1, a2, tm, tau, nil)
 	v := nla.NewMatrix(n+m2, n)
 	for j := 0; j < n; j++ {
 		v.Set(j, j, 1)
@@ -197,7 +197,7 @@ func TestTSMQRMatchesExplicitQ(t *testing.T) {
 		} else {
 			want = nla.MulAB(q, stacked)
 		}
-		TSMQR(trans, n, a2, tm, c1, c2)
+		TSMQR(trans, n, a2, tm, c1, c2, nil)
 		if d := maxDiff(c1, want.View(0, 0, n, nc)); d > tol {
 			t.Fatalf("TSMQR trans=%v: C1 mismatch: %g", trans, d)
 		}
@@ -216,12 +216,12 @@ func TestTSMQRTallC1(t *testing.T) {
 	a2 := nla.RandomMatrix(rng, m2, n)
 	tm := nla.NewMatrix(n, n)
 	tau := make([]float64, n)
-	TSQRT(r1, a2, tm, tau)
+	TSQRT(r1, a2, tm, tau, nil)
 
 	c1 := nla.RandomMatrix(rng, 7, 3) // 7 > n rows
 	c2 := nla.RandomMatrix(rng, m2, 3)
 	c1in := c1.Clone()
-	TSMQR(true, n, a2, tm, c1, c2)
+	TSMQR(true, n, a2, tm, c1, c2, nil)
 	if d := maxDiff(c1.View(n, 0, 3, 3), c1in.View(n, 0, 3, 3)); d != 0 {
 		t.Fatalf("rows beyond k modified: %g", d)
 	}
@@ -236,7 +236,7 @@ func TestTTQRTReconstruction(t *testing.T) {
 		r1in, r2in := r1.Clone(), r2.Clone()
 		tm := nla.NewMatrix(k, k)
 		tau := make([]float64, k)
-		TTQRT(r1, r2, tm, tau)
+		TTQRT(r1, r2, tm, tau, nil)
 
 		v := nla.NewMatrix(k+m2, k)
 		for j := 0; j < k; j++ {
@@ -269,7 +269,7 @@ func TestTTMQRMatchesExplicitQ(t *testing.T) {
 	r2 := upperR(nla.RandomMatrix(rng, m2, k))
 	tm := nla.NewMatrix(k, k)
 	tau := make([]float64, k)
-	TTQRT(r1, r2, tm, tau)
+	TTQRT(r1, r2, tm, tau, nil)
 	v := nla.NewMatrix(k+m2, k)
 	for j := 0; j < k; j++ {
 		v.Set(j, j, 1)
@@ -291,7 +291,7 @@ func TestTTMQRMatchesExplicitQ(t *testing.T) {
 		} else {
 			want = nla.MulAB(q, stacked)
 		}
-		TTMQR(trans, k, r2, tm, c1, c2)
+		TTMQR(trans, k, r2, tm, c1, c2, nil)
 		if d := maxDiff(c1, want.View(0, 0, k, nc)); d > tol {
 			t.Fatalf("TTMQR trans=%v: C1 mismatch: %g", trans, d)
 		}
@@ -318,9 +318,9 @@ func TestTSQRTChainNormPreservation(t *testing.T) {
 		}
 		tm := nla.NewMatrix(nb, nb)
 		tau := make([]float64, nb)
-		GEQRT(tiles[0], tm, tau)
+		GEQRT(tiles[0], tm, tau, nil)
 		for i := 1; i < rows; i++ {
-			TSQRT(tiles[0], tiles[i], tm, tau)
+			TSQRT(tiles[0], tiles[i], tm, tau, nil)
 		}
 		r := upperR(tiles[0])
 		if math.Abs(r.FrobeniusNorm()-math.Sqrt(ssq)) > 1e-10*math.Sqrt(ssq) {

@@ -1,0 +1,38 @@
+package nla
+
+// useAVX2 gates the assembly micro-kernel. It is decided once at init;
+// every executor worker therefore runs the same kernel, which keeps
+// parallel and distributed results bitwise-identical to RunSequential.
+var useAVX2 = detectAVX2FMA()
+
+//go:noescape
+func dgemm8x4asm(kc int, ap, bp, acc *float64)
+
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2FMA reports whether the CPU supports AVX2 and FMA and the OS
+// saves YMM state (CPUID leaves 1 and 7, XGETBV XCR0 bits 1-2).
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}

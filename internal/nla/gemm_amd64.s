@@ -1,0 +1,75 @@
+// AVX2+FMA micro-kernel of the packed GEMM: an 8×4 block of C lives in
+// eight YMM accumulators (two 4-double rows by four broadcast columns)
+// while the packed panels stream through. Only used after gemm_amd64.go
+// has verified AVX2, FMA and OS YMM-state support via CPUID/XGETBV.
+
+#include "textflag.h"
+
+// func dgemm8x4asm(kc int, ap, bp, acc *float64)
+// acc is a 32-element column-major 8×4 accumulator (LD 8), overwritten.
+TEXT ·dgemm8x4asm(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ acc+24(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	TESTQ CX, CX
+	JZ   store
+
+loop:
+	VMOVUPD (SI), Y8        // a rows 0..3
+	VMOVUPD 32(SI), Y9      // a rows 4..7
+	VBROADCASTSD (DI), Y10  // b col 0
+	VBROADCASTSD 8(DI), Y11 // b col 1
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 16(DI), Y10 // b col 2
+	VBROADCASTSD 24(DI), Y11 // b col 3
+	VFMADD231PD Y8, Y10, Y4
+	VFMADD231PD Y9, Y10, Y5
+	VFMADD231PD Y8, Y11, Y6
+	VFMADD231PD Y9, Y11, Y7
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

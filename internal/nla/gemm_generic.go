@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package nla
+
+// Non-amd64 builds always use the portable micro-kernel.
+const useAVX2 = false
+
+func dgemm8x4asm(kc int, ap, bp, acc *float64) {
+	panic("nla: assembly micro-kernel not available on this architecture")
+}

@@ -1,0 +1,266 @@
+package nla
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// gemmRef is the straightforward triple loop the packed path is checked
+// against.
+func gemmRef(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	am, ak := a.Rows, a.Cols
+	if transA {
+		am, ak = a.Cols, a.Rows
+	}
+	bn := b.Cols
+	if transB {
+		bn = b.Rows
+	}
+	opA := func(i, k int) float64 {
+		if transA {
+			return a.At(k, i)
+		}
+		return a.At(i, k)
+	}
+	opB := func(k, j int) float64 {
+		if transB {
+			return b.At(j, k)
+		}
+		return b.At(k, j)
+	}
+	for j := 0; j < bn; j++ {
+		for i := 0; i < am; i++ {
+			var s float64
+			for k := 0; k < ak; k++ {
+				s += opA(i, k) * opB(k, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+func TestGemmAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ws := NewWorkspace(0)
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 2}, {8, 4, 8}, {8, 4, 3},
+		{16, 16, 16}, {17, 13, 9}, {64, 64, 64}, {63, 61, 59},
+		{65, 33, 67}, {8, 8, 1}, {7, 3, 64}, {130, 70, 300},
+	}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		for _, tr := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			transA, transB := tr[0], tr[1]
+			for _, co := range [][2]float64{{1, 0}, {1, 1}, {-1, 1}, {0.5, -0.25}, {0, 0.5}} {
+				alpha, beta := co[0], co[1]
+				ar, ac := m, k
+				if transA {
+					ar, ac = k, m
+				}
+				br, bc := k, n
+				if transB {
+					br, bc = n, k
+				}
+				a := RandomMatrix(rng, ar, ac)
+				b := RandomMatrix(rng, br, bc)
+				c := RandomMatrix(rng, m, n)
+				want := c.Clone()
+				gemmRef(transA, transB, alpha, a, b, beta, want)
+				got := c.Clone()
+				GemmWS(transA, transB, alpha, a, b, beta, got, ws)
+				scale := float64(k) * 1e-13
+				if scale < 1e-13 {
+					scale = 1e-13
+				}
+				for j := 0; j < n; j++ {
+					for i := 0; i < m; i++ {
+						if d := math.Abs(got.At(i, j) - want.At(i, j)); d > scale {
+							t.Fatalf("Gemm(%v,%v,%dx%dx%d,α=%g,β=%g): c(%d,%d) off by %g",
+								transA, transB, m, n, k, alpha, beta, i, j, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmViews runs the packed path on views into a larger matrix, where
+// LD exceeds the row count.
+func TestGemmViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	big := RandomMatrix(rng, 100, 100)
+	a := big.View(3, 5, 40, 30)
+	b := big.View(11, 2, 30, 20)
+	c := NewMatrix(40, 20)
+	want := NewMatrix(40, 20)
+	gemmRef(false, false, 1, a, b, 0, want)
+	GemmWS(false, false, 1, a, b, 0, c, NewWorkspace(0))
+	for j := 0; j < 20; j++ {
+		for i := 0; i < 40; i++ {
+			if d := math.Abs(c.At(i, j) - want.At(i, j)); d > 1e-12 {
+				t.Fatalf("view gemm off at (%d,%d): %g", i, j, d)
+			}
+		}
+	}
+}
+
+// TestGemmDeterministic checks that repeated identical products are
+// bitwise-equal — the property the executors' parity guarantees rest on.
+func TestGemmDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandomMatrix(rng, 61, 47)
+	b := RandomMatrix(rng, 47, 53)
+	c1 := NewMatrix(61, 53)
+	c2 := NewMatrix(61, 53)
+	GemmWS(false, false, 1, a, b, 0, c1, NewWorkspace(0))
+	GemmWS(false, false, 1, a, b, 0, c2, NewWorkspace(8192))
+	for i := range c1.Data {
+		if c1.Data[i] != c2.Data[i] {
+			t.Fatalf("gemm not deterministic at %d: %v vs %v", i, c1.Data[i], c2.Data[i])
+		}
+	}
+}
+
+// TestGemmCustomBlocking exercises KC/MC/NC block boundaries smaller than
+// the operands, including non-multiples.
+func TestGemmCustomBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := RandomMatrix(rng, 70, 90)
+	b := RandomMatrix(rng, 90, 50)
+	want := NewMatrix(70, 50)
+	gemmRef(false, false, 1, a, b, 0, want)
+	for _, bl := range []Blocking{{MC: 16, KC: 8, NC: 12}, {MC: 8, KC: 17, NC: 4}, {MC: 1024, KC: 1024, NC: 1024}} {
+		ws := NewWorkspace(0)
+		ws.Blocking = bl
+		c := NewMatrix(70, 50)
+		GemmWS(false, false, 1, a, b, 0, c, ws)
+		for j := 0; j < 50; j++ {
+			for i := 0; i < 70; i++ {
+				if d := math.Abs(c.At(i, j) - want.At(i, j)); d > 1e-11 {
+					t.Fatalf("blocking %+v: off at (%d,%d): %g", bl, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmZeroAlloc verifies the steady state allocates nothing once the
+// workspace is warm.
+func TestGemmZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := RandomMatrix(rng, 64, 64)
+	b := RandomMatrix(rng, 64, 64)
+	c := NewMatrix(64, 64)
+	ws := NewWorkspace(GemmScratchFor(Blocking{}, 64, 64, 64))
+	GemmWS(true, false, 1, a, b, 1, c, ws) // warm
+	if n := testing.AllocsPerRun(10, func() {
+		GemmWS(true, false, 1, a, b, 1, c, ws)
+	}); n != 0 {
+		t.Fatalf("GemmWS allocated %v times per run with a warm workspace", n)
+	}
+	if ws.Grows() != 0 {
+		t.Fatalf("workspace sized by GemmScratchFor grew %d times", ws.Grows())
+	}
+}
+
+func TestWorkspaceMarkRelease(t *testing.T) {
+	ws := NewWorkspace(16)
+	m0 := ws.Mark()
+	v := ws.ScratchVec(8)
+	if len(v) != 8 {
+		t.Fatalf("ScratchVec len %d", len(v))
+	}
+	mark := ws.Mark()
+	mat := ws.Scratch(2, 3)
+	if mat.Rows != 2 || mat.Cols != 3 || mat.LD != 2 {
+		t.Fatalf("Scratch shape %dx%d ld %d", mat.Rows, mat.Cols, mat.LD)
+	}
+	ws.Release(mark)
+	mat2 := ws.Scratch(3, 2)
+	if &mat2.Data[0] != &mat.Data[0] {
+		t.Fatalf("Release did not rewind the arena")
+	}
+	ws.Release(m0)
+	if ws.Grows() != 0 {
+		t.Fatalf("unexpected growth")
+	}
+	// Growth past capacity must keep prior checkouts usable.
+	big := ws.ScratchVec(64)
+	big[0], big[63] = 1, 2
+	if ws.Grows() != 1 {
+		t.Fatalf("expected one growth, got %d", ws.Grows())
+	}
+}
+
+func BenchmarkGemm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{64, 128, 256} {
+		a := RandomMatrix(rng, d, d)
+		bb := RandomMatrix(rng, d, d)
+		c := NewMatrix(d, d)
+		ws := NewWorkspace(GemmScratchFor(Blocking{}, d, d, d))
+		for _, tc := range []struct {
+			name           string
+			transA, transB bool
+		}{
+			{"NN", false, false}, {"TN", true, false}, {"NT", false, true}, {"TT", true, true},
+		} {
+			b.Run(tc.name+"/"+strconv.Itoa(d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					GemmWS(tc.transA, tc.transB, 1, a, bb, 1, c, ws)
+				}
+				flops := 2 * float64(d) * float64(d) * float64(d)
+				b.ReportMetric(flops*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFlop/s")
+			})
+		}
+	}
+}
+
+// TestMicroKernelGoFallback exercises dgemm8x4go directly — on AVX2
+// machines the dispatcher never takes it, so without this test the
+// portable fallback would have zero CI coverage. It is checked against a
+// scalar recomputation of the packed panels and, when the assembly kernel
+// is available, against its output (tolerance: the asm kernel uses fused
+// multiply-add, the fallback separate rounding).
+func TestMicroKernelGoFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, kc := range []int{0, 1, 3, 17, 64} {
+		ap := make([]float64, microM*kc)
+		bp := make([]float64, microN*kc)
+		for i := range ap {
+			ap[i] = rng.NormFloat64()
+		}
+		for i := range bp {
+			bp[i] = rng.NormFloat64()
+		}
+		var got, want [microM * microN]float64
+		dgemm8x4go(kc, ap, bp, &got)
+		for j := 0; j < microN; j++ {
+			for i := 0; i < microM; i++ {
+				var s float64
+				for l := 0; l < kc; l++ {
+					s += ap[l*microM+i] * bp[l*microN+j]
+				}
+				want[j*microM+i] = s
+			}
+		}
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > 1e-12*float64(kc+1) {
+				t.Fatalf("kc=%d: go micro-kernel acc[%d] off by %g", kc, i, d)
+			}
+		}
+		if useAVX2 && kc > 0 {
+			var asm [microM * microN]float64
+			dgemm8x4asm(kc, &ap[0], &bp[0], &asm[0])
+			for i := range asm {
+				if d := math.Abs(asm[i] - got[i]); d > 1e-12*float64(kc) {
+					t.Fatalf("kc=%d: asm and go micro-kernels disagree at %d by %g", kc, i, d)
+				}
+			}
+		}
+	}
+}

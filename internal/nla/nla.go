@@ -58,10 +58,14 @@ func (m *Matrix) Clone() *Matrix {
 }
 
 // View returns a sub-matrix view of r rows and c columns starting at (i, j).
-// The view shares storage with m.
+// The view shares storage with m. View is inlinable, so a view that does
+// not escape its caller costs no allocation — the kernels rely on this on
+// their hot paths.
 func (m *Matrix) View(i, j, r, c int) *Matrix {
 	if i < 0 || j < 0 || i+r > m.Rows || j+c > m.Cols {
-		panic(fmt.Sprintf("nla: View(%d,%d,%d,%d) out of %dx%d", i, j, r, c, m.Rows, m.Cols))
+		// Constant message: a formatted panic would push View over the
+		// inlining budget and re-introduce the allocation.
+		panic("nla: View out of range")
 	}
 	return &Matrix{Rows: r, Cols: c, LD: m.LD, Data: m.Data[i+j*m.LD:]}
 }
@@ -168,92 +172,6 @@ func MulABT(a, b *Matrix) *Matrix {
 	c := NewMatrix(a.Rows, b.Rows)
 	Gemm(false, true, 1, a, b, 0, c)
 	return c
-}
-
-// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is the identity or
-// the transpose according to transA/transB. Loop order is chosen so the
-// innermost loop is stride-1 over columns of C and A.
-func Gemm(transA, transB bool, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
-	am, ak := a.Rows, a.Cols
-	if transA {
-		am, ak = a.Cols, a.Rows
-	}
-	bk, bn := b.Rows, b.Cols
-	if transB {
-		bk, bn = b.Cols, b.Rows
-	}
-	if ak != bk || c.Rows != am || c.Cols != bn {
-		panic(fmt.Sprintf("nla: Gemm: shape mismatch (%dx%d)*(%dx%d) -> %dx%d", am, ak, bk, bn, c.Rows, c.Cols))
-	}
-	if beta != 1 {
-		for j := 0; j < bn; j++ {
-			col := c.Data[j*c.LD : j*c.LD+am]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
-				}
-			}
-		}
-	}
-	if alpha == 0 || ak == 0 {
-		return
-	}
-	switch {
-	case !transA && !transB:
-		for j := 0; j < bn; j++ {
-			cc := c.Data[j*c.LD : j*c.LD+am]
-			for k := 0; k < ak; k++ {
-				t := alpha * b.Data[k+j*b.LD]
-				if t == 0 {
-					continue
-				}
-				ac := a.Data[k*a.LD : k*a.LD+am]
-				for i, av := range ac {
-					cc[i] += t * av
-				}
-			}
-		}
-	case transA && !transB:
-		for j := 0; j < bn; j++ {
-			bc := b.Data[j*b.LD : j*b.LD+ak]
-			for i := 0; i < am; i++ {
-				ac := a.Data[i*a.LD : i*a.LD+ak]
-				var s float64
-				for k, bv := range bc {
-					s += ac[k] * bv
-				}
-				c.Data[i+j*c.LD] += alpha * s
-			}
-		}
-	case !transA && transB:
-		for k := 0; k < ak; k++ {
-			ac := a.Data[k*a.LD : k*a.LD+am]
-			for j := 0; j < bn; j++ {
-				t := alpha * b.Data[j+k*b.LD]
-				if t == 0 {
-					continue
-				}
-				cc := c.Data[j*c.LD : j*c.LD+am]
-				for i, av := range ac {
-					cc[i] += t * av
-				}
-			}
-		}
-	default: // transA && transB
-		for j := 0; j < bn; j++ {
-			for i := 0; i < am; i++ {
-				var s float64
-				for k := 0; k < ak; k++ {
-					s += a.Data[k+i*a.LD] * b.Data[j+k*b.LD]
-				}
-				c.Data[i+j*c.LD] += alpha * s
-			}
-		}
-	}
 }
 
 // Dot returns the inner product of x and y.

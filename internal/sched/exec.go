@@ -9,9 +9,10 @@ import (
 // schedule by construction. It is the numerical reference all parallel
 // executions are compared against.
 func (g *Graph) RunSequential() {
+	ws := g.NewWorkspace()
 	for _, t := range g.Tasks {
 		if t.Run != nil {
-			t.Run()
+			t.Run(ws)
 		}
 	}
 }
@@ -47,6 +48,10 @@ func (g *Graph) RunParallel(workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One max-sized arena per worker: tasks run one at a time on a
+			// worker, so they may use the whole workspace and the pool's
+			// steady state allocates nothing.
+			ws := g.NewWorkspace()
 			for {
 				mu.Lock()
 				for len(ready) == 0 && remaining > 0 {
@@ -60,7 +65,7 @@ func (g *Graph) RunParallel(workers int) {
 				mu.Unlock()
 
 				if t.Run != nil {
-					t.Run()
+					t.Run(ws)
 				}
 
 				mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/nla"
 )
 
 // Handle identifies one unit of data for dependency inference — typically
@@ -64,7 +65,11 @@ type Task struct {
 
 	Weight float64 // Table I cost in nb³/3 units (critical-path analysis)
 	Flops  float64 // modeled flop count (machine-model simulation)
-	Run    func()  // real execution closure; nil in simulation-only graphs
+	// Run is the real execution closure (nil in simulation-only graphs).
+	// It receives the workspace of the worker executing it: each executor
+	// owns one max-sized arena per worker (see Graph.NewWorkspace), so
+	// steady-state kernel execution is allocation-free.
+	Run func(*nla.Workspace)
 
 	succs       []*Task
 	succBytes   []int32     // data carried by each edge (0 for anti-dependencies)
@@ -86,10 +91,35 @@ func (t *Task) Name() string {
 type Graph struct {
 	Tasks   []*Task
 	handles []*Handle
+
+	// ScratchElems is the largest per-task workspace requirement declared
+	// via NeedScratch, in float64 elements. Executors size each worker's
+	// arena from it.
+	ScratchElems int
+	// Blocking is the GEMM cache blocking the workers' workspaces use.
+	// The zero value selects nla.DefaultBlocking.
+	Blocking nla.Blocking
 }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// NeedScratch raises the per-worker workspace requirement to at least
+// elems float64s. Builders call it once per submitted task with the
+// task's kernels.ScratchSize.
+func (g *Graph) NeedScratch(elems int) {
+	if elems > g.ScratchElems {
+		g.ScratchElems = elems
+	}
+}
+
+// NewWorkspace returns a worker workspace pre-sized for the graph's
+// declared scratch requirement, carrying the graph's GEMM blocking.
+func (g *Graph) NewWorkspace() *nla.Workspace {
+	ws := nla.NewWorkspace(g.ScratchElems)
+	ws.Blocking = g.Blocking
+	return ws
+}
 
 // NewHandle registers a datum of the given size owned by the given node.
 func (g *Graph) NewHandle(bytes, owner int32) *Handle {
@@ -126,7 +156,7 @@ func W(h *Handle) Access  { return Access{H: h, Mode: WriteOnly} }
 
 // AddTask appends a task touching the given handles and infers its
 // dependencies. node selects the owner for distributed simulation.
-func (g *Graph) AddTask(kind kernels.Kind, node int32, weight, flops float64, run func(), accesses ...Access) *Task {
+func (g *Graph) AddTask(kind kernels.Kind, node int32, weight, flops float64, run func(*nla.Workspace), accesses ...Access) *Task {
 	t := &Task{
 		ID:     int32(len(g.Tasks)),
 		Kind:   kind,

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/nla"
 )
 
 // chainGraph builds a linear chain of n tasks through one handle.
@@ -108,7 +109,7 @@ func TestRunSequentialOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 6; i++ {
 		i := i
-		g.AddTask(kernels.GEQRTKind, 0, 1, 0, func() { order = append(order, i) }, RW(h))
+		g.AddTask(kernels.GEQRTKind, 0, 1, 0, func(*nla.Workspace) { order = append(order, i) }, RW(h))
 	}
 	g.RunSequential()
 	for i, v := range order {
@@ -123,20 +124,20 @@ func TestRunParallelRespectsDependencies(t *testing.T) {
 	g := NewGraph()
 	h := g.NewHandle(1, 0)
 	var aDone, bDone, cDone atomic.Bool
-	g.AddTask(kernels.GEQRTKind, 0, 1, 0, func() { aDone.Store(true) }, RW(h))
-	g.AddTask(kernels.UNMQRKind, 0, 1, 0, func() {
+	g.AddTask(kernels.GEQRTKind, 0, 1, 0, func(*nla.Workspace) { aDone.Store(true) }, RW(h))
+	g.AddTask(kernels.UNMQRKind, 0, 1, 0, func(*nla.Workspace) {
 		if !aDone.Load() {
 			t.Errorf("b ran before a")
 		}
 		bDone.Store(true)
 	}, R(h))
-	g.AddTask(kernels.UNMQRKind, 0, 1, 0, func() {
+	g.AddTask(kernels.UNMQRKind, 0, 1, 0, func(*nla.Workspace) {
 		if !aDone.Load() {
 			t.Errorf("c ran before a")
 		}
 		cDone.Store(true)
 	}, R(h))
-	g.AddTask(kernels.TSQRTKind, 0, 1, 0, func() {
+	g.AddTask(kernels.TSQRTKind, 0, 1, 0, func(*nla.Workspace) {
 		if !bDone.Load() || !cDone.Load() {
 			t.Errorf("d ran before b/c")
 		}
@@ -150,8 +151,8 @@ func TestRunParallelExecutesAll(t *testing.T) {
 		var count atomic.Int64
 		for i := 0; i < 100; i++ {
 			h := g.NewHandle(1, 0)
-			g.AddTask(kernels.GEQRTKind, 0, 1, 0, func() { count.Add(1) }, RW(h))
-			g.AddTask(kernels.UNMQRKind, 0, 1, 0, func() { count.Add(1) }, RW(h))
+			g.AddTask(kernels.GEQRTKind, 0, 1, 0, func(*nla.Workspace) { count.Add(1) }, RW(h))
+			g.AddTask(kernels.UNMQRKind, 0, 1, 0, func(*nla.Workspace) { count.Add(1) }, RW(h))
 		}
 		g.RunParallel(workers)
 		if count.Load() != 200 {
@@ -165,7 +166,7 @@ func TestRunParallelRepeatable(t *testing.T) {
 	g := chainGraph(10)
 	var n atomic.Int64
 	for _, task := range g.Tasks {
-		task.Run = func() { n.Add(1) }
+		task.Run = func(*nla.Workspace) { n.Add(1) }
 	}
 	g.RunParallel(2)
 	g.RunParallel(3)

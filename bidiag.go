@@ -17,7 +17,11 @@
 //
 // Every QR/LQ panel reduction is driven by a configurable reduction tree
 // (FlatTS, FlatTT, Greedy, or the adaptive Auto tree of the paper), and
-// the whole computation executes as a task graph on a data-flow runtime.
+// both reduction stages execute as task graphs on the same data-flow
+// runtime: GE2BND as tiled QR/LQ kernels, and BND2BD as a pipelined
+// diagonal wavefront of bulge-chase segments (Options.BND2BD selects the
+// sequential reference instead), so the full pipeline — not just the
+// first stage — scales with Options.Workers.
 //
 // Setting Options.Distributed executes the reduction on a grid of
 // in-process distributed-memory nodes instead: tiles are distributed 2D
@@ -101,6 +105,36 @@ func (t Tree) kind() (trees.Kind, error) {
 	return 0, fmt.Errorf("bidiag: unknown tree %d", int(t))
 }
 
+// BND2BD selects the implementation of the pipeline's second stage, the
+// band-to-bidiagonal bulge chase. Both implementations apply the same
+// Givens rotations in a sequentially consistent order, so their results
+// are bitwise-identical; the switch exists to force the single-threaded
+// reference (as a baseline or oracle) and to pin the pipeline in tests.
+type BND2BD int
+
+const (
+	// BND2BDAuto (the default) runs the pipelined task-graph reduction on
+	// Options.Workers workers — the same pool that executes GE2BND.
+	BND2BDAuto BND2BD = iota
+	// BND2BDPipelined forces the pipelined task-graph reduction.
+	BND2BDPipelined
+	// BND2BDSequential forces the single-threaded reference reduction
+	// (band.Reduce), the numerical oracle of the pipelined path.
+	BND2BDSequential
+)
+
+func (m BND2BD) String() string {
+	switch m {
+	case BND2BDAuto:
+		return "BND2BDAuto"
+	case BND2BDPipelined:
+		return "BND2BDPipelined"
+	case BND2BDSequential:
+		return "BND2BDSequential"
+	}
+	return fmt.Sprintf("BND2BD(%d)", int(m))
+}
+
 // Algorithm selects between direct bidiagonalization and
 // R-bidiagonalization.
 type Algorithm int
@@ -151,6 +185,10 @@ type Options struct {
 	// tile kernels bottom out in. The zero value selects defaults tuned
 	// for tile-scale operands; it rarely needs changing.
 	Gemm GemmBlock
+	// BND2BD selects the second-stage (band→bidiagonal) implementation:
+	// the pipelined task-graph reduction by default, or the sequential
+	// reference. The two are bitwise-identical.
+	BND2BD BND2BD
 }
 
 // GemmBlock holds the cache-block sizes of the packed GEMM: panels of A
@@ -249,6 +287,11 @@ type Band struct {
 	// Dist holds measured communication statistics when the reduction ran
 	// distributed (Options.Distributed non-nil); nil otherwise.
 	Dist *DistStats
+
+	// workers and bnd2bd carry the Options the band was produced under, so
+	// SingularValues routes its BND2BD stage the same way.
+	workers int
+	bnd2bd  BND2BD
 }
 
 // N returns the order of the band matrix.
@@ -261,9 +304,17 @@ func (b *Band) Bandwidth() int { return b.b.KU }
 func (b *Band) At(i, j int) float64 { return b.b.At(i, j) }
 
 // SingularValues finishes the pipeline on the band: BND2BD bulge chasing
-// followed by the bidiagonal QR iteration.
+// followed by the bidiagonal QR iteration. The BND2BD stage runs as a
+// pipelined task graph on the worker count the band was produced with,
+// unless the producing Options forced the sequential reference; either
+// way the outcome is bitwise-identical.
 func (b *Band) SingularValues() ([]float64, error) {
-	r := band.Reduce(b.b)
+	var r *band.Matrix
+	if b.bnd2bd == BND2BDSequential {
+		r = band.Reduce(b.b)
+	} else {
+		r = band.ReduceParallel(b.b, max(b.workers, 1), 0)
+	}
 	d, e := r.Bidiagonal()
 	return bdsqr.SingularValues(d, e)
 }
@@ -300,6 +351,8 @@ func GE2BND(a *Dense, o *Options) (*Band, error) {
 		UsedRBidiag:   useR,
 		TasksExecuted: tasks,
 		Dist:          ds,
+		workers:       opts.Workers,
+		bnd2bd:        opts.BND2BD,
 	}, nil
 }
 

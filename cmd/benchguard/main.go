@@ -1,0 +1,81 @@
+// Command benchguard gates the benchmark trend in CI: it compares a
+// freshly measured BENCH_*.json record against the checked-in reference
+// for the same configuration and exits non-zero when GFLOP/s regressed
+// by more than the tolerance (25% by default, absorbing normal
+// runner-to-runner noise while catching real performance losses).
+//
+//	benchguard -ref BENCH_ge2bnd_1024.json -new out/BENCH_ge2bnd_1024.json
+//	benchguard -ref BENCH_bnd2bd_4096.json -new out/BENCH_bnd2bd_4096.json -tol 0.25
+//
+// Improvements always pass; the checked-in record is only refreshed
+// deliberately, so the trajectory of committed numbers changes only on
+// purpose.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record is the subset of the bidiagbench perf schema the guard needs.
+type record struct {
+	Experiment  string  `json:"experiment"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	NB          int     `json:"nb"`
+	KU          int     `json:"ku"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	GFlops      float64 `json:"gflops"`
+}
+
+func load(path string) (record, error) {
+	var r record
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.GFlops <= 0 {
+		return r, fmt.Errorf("%s: missing or non-positive gflops", path)
+	}
+	return r, nil
+}
+
+func main() {
+	refPath := flag.String("ref", "", "checked-in reference BENCH_*.json")
+	newPath := flag.String("new", "", "freshly measured BENCH_*.json")
+	tol := flag.Float64("tol", 0.25, "maximum allowed relative GFLOP/s regression")
+	flag.Parse()
+	if *refPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -ref <committed.json> -new <measured.json> [-tol 0.25]")
+		os.Exit(2)
+	}
+	ref, err := load(*refPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	got, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if ref.Experiment != got.Experiment || ref.M != got.M || ref.N != got.N ||
+		ref.NB != got.NB || ref.KU != got.KU || ref.Workers != got.Workers {
+		fmt.Fprintf(os.Stderr, "benchguard: configurations differ: ref %+v vs new %+v\n", ref, got)
+		os.Exit(2)
+	}
+	ratio := got.GFlops / ref.GFlops
+	fmt.Printf("%s %dx%d: %.2f GFLOP/s vs reference %.2f (%.0f%%)\n",
+		ref.Experiment, ref.M, ref.N, got.GFlops, ref.GFlops, 100*ratio)
+	if ratio < 1-*tol {
+		fmt.Fprintf(os.Stderr, "benchguard: GFLOP/s regressed %.0f%% (> %.0f%% allowed)\n",
+			100*(1-ratio), 100**tol)
+		os.Exit(1)
+	}
+}

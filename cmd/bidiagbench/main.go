@@ -10,6 +10,7 @@
 //	bidiagbench -nodes 6 -grid 2x3      # explicit process grid
 //	bidiagbench -m 1024 -n 1024 -nb 64 -workers 1   # one timed GE2BND, GFLOP/s
 //	bidiagbench -m 4096 -n 1024 -json BENCH_ge2bnd.json
+//	bidiagbench -stage bnd2bd -n 4096 -ku 64 -workers 8 -json BENCH_bnd2bd.json
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
@@ -22,7 +23,10 @@
 // prints wall time and GFLOP/s; -json additionally writes the result —
 // shape, nb, workers, wall time, GFLOP/s and (for distributed runs) the
 // communication statistics — as a machine-readable file, the format the
-// BENCH_*.json performance trajectory is tracked in.
+// BENCH_*.json performance trajectory is tracked in. With -stage bnd2bd
+// the timed run is the pipelined second stage instead: an n×n band of
+// bandwidth -ku reduced to bidiagonal form on the task runtime, rated
+// against the data-independent rotation-flop model.
 package main
 
 import (
@@ -38,8 +42,10 @@ import (
 	"time"
 
 	"github.com/tiled-la/bidiag"
+	"github.com/tiled-la/bidiag/internal/band"
 	"github.com/tiled-la/bidiag/internal/baseline"
 	"github.com/tiled-la/bidiag/internal/experiments"
+	"github.com/tiled-la/bidiag/internal/sched"
 )
 
 type runner func(experiments.Scale) []*experiments.Table
@@ -114,10 +120,11 @@ type perfResult struct {
 	Experiment  string  `json:"experiment"`
 	M           int     `json:"m"`
 	N           int     `json:"n"`
-	NB          int     `json:"nb"`
+	NB          int     `json:"nb,omitempty"`
+	KU          int     `json:"ku,omitempty"` // band width of a bnd2bd run
 	Workers     int     `json:"workers"`
-	Tree        string  `json:"tree"`
-	Algorithm   string  `json:"algorithm"`
+	Tree        string  `json:"tree,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
 	Tasks       int     `json:"tasks"`
 	Reps        int     `json:"reps"`
 	WallSeconds float64 `json:"wall_seconds"` // best of Reps
@@ -194,22 +201,82 @@ func runPerf(m, n, nb, workers, nodes, gridR, gridC, reps int, jsonPath string) 
 		fmt.Printf("comm: %d messages, %.2f MB modeled, %.2f MB payload\n",
 			res.CommCount, res.CommVolume/1e6, float64(res.PayloadBytes)/1e6)
 	}
-	if jsonPath != "" {
-		blob, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			return err
-		}
-		blob = append(blob, '\n')
-		if jsonPath == "-" {
-			_, err = os.Stdout.Write(blob)
-			return err
-		}
-		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
+	return writeResult(res, jsonPath)
+}
+
+// writeResult prints and optionally persists one perf record.
+func writeResult(res perfResult, jsonPath string) error {
+	if jsonPath == "" {
+		return nil
 	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
+}
+
+// runPerfBND2BD times the pipelined second stage on a random n×n band of
+// bandwidth ku (the shape GE2BND emits for nb = ku): graph build +
+// execution on `workers` workers, best of reps, rated against the
+// rotation-flop model so the GFLOP/s figure is comparable across
+// machines and commits.
+func runPerfBND2BD(n, ku, workers, reps int, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(42))
+	b := bandRandom(rng, n, ku)
+	res := perfResult{
+		Experiment: "bnd2bd", M: n, N: n, KU: ku, Workers: workers, Reps: reps,
+	}
+	best := time.Duration(1<<63 - 1)
+	var flops float64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		g := sched.NewGraph()
+		finish := band.BuildReduceGraph(g, b, 0)
+		if workers > 1 {
+			g.RunParallel(workers)
+		} else {
+			g.RunSequential()
+		}
+		out := finish()
+		wall := time.Since(start)
+		if out.KU > 1 {
+			return fmt.Errorf("bnd2bd: result not bidiagonal")
+		}
+		if wall < best {
+			best = wall
+		}
+		res.Tasks = len(g.Tasks)
+		flops = g.Summary().TotalFlops // identical to band.ModelFlops(n, ku)
+	}
+	res.WallSeconds = best.Seconds()
+	res.GFlops = flops / 1e9 / res.WallSeconds
+	fmt.Printf("BND2BD n=%d ku=%d workers=%d: %.3fs  %.2f GFLOP/s  (%d tasks, best of %d)\n",
+		n, ku, workers, res.WallSeconds, res.GFlops, res.Tasks, reps)
+	return writeResult(res, jsonPath)
+}
+
+// bandRandom fills an n×n band of bandwidth ku with uniform(-1, 1).
+func bandRandom(rng *rand.Rand, n, ku int) *band.Matrix {
+	b := band.New(n, ku)
+	for i := 0; i < n; i++ {
+		for j := i; j <= i+b.KU && j < n; j++ {
+			b.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	return b
 }
 
 func main() {
@@ -222,6 +289,8 @@ func main() {
 	mFlag := flag.Int("m", 0, "rows for a one-shot timed GE2BND run (enables perf mode)")
 	nFlag := flag.Int("n", 0, "columns for the timed run (default: m)")
 	nbFlag := flag.Int("nb", 64, "tile size for the timed run")
+	kuFlag := flag.Int("ku", 64, "band width for a -stage bnd2bd timed run")
+	stage := flag.String("stage", "ge2bnd", "timed-run stage: ge2bnd or bnd2bd")
 	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the timed run")
 	repsFlag := flag.Int("reps", 3, "repetitions of the timed run (best kept)")
 	jsonOut := flag.String("json", "", "write the timed-run result as JSON to this file ('-' for stdout)")
@@ -231,28 +300,46 @@ func main() {
 	perfMode := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "m", "n", "nb", "workers", "reps", "json":
+		case "m", "n", "nb", "ku", "stage", "workers", "reps", "json":
 			perfMode = true
 		}
 	})
 	if perfMode {
 		if *exp != "" {
-			fmt.Fprintln(os.Stderr, "-exp and the timed-run flags (-m/-n/-nb/-workers/-reps/-json) are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "-exp and the timed-run flags (-m/-n/-nb/-ku/-stage/-workers/-reps/-json) are mutually exclusive")
 			os.Exit(2)
 		}
-		m, n := *mFlag, *nFlag
-		if m <= 0 {
-			m = 1024
+		var err error
+		switch *stage {
+		case "bnd2bd":
+			n := *nFlag
+			if n <= 0 {
+				n = *mFlag
+			}
+			if n <= 0 {
+				n = 4096
+			}
+			err = runPerfBND2BD(n, *kuFlag, *workersFlag, *repsFlag, *jsonOut)
+		case "ge2bnd":
+			m, n := *mFlag, *nFlag
+			if m <= 0 {
+				m = 1024
+			}
+			if n <= 0 {
+				n = m
+			}
+			var gr, gc int
+			gr, gc, err = parseGrid(*gridSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			err = runPerf(m, n, *nbFlag, *workersFlag, *nodes, gr, gc, *repsFlag, *jsonOut)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -stage %q; want ge2bnd or bnd2bd\n", *stage)
+			os.Exit(2)
 		}
-		if n <= 0 {
-			n = m
-		}
-		gr, gc, err := parseGrid(*gridSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := runPerf(m, n, *nbFlag, *workersFlag, *nodes, gr, gc, *repsFlag, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

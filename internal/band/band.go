@@ -3,6 +3,15 @@
 // reduction from band-bidiagonal form (the output of the tiled GE2BND
 // algorithms) to proper bidiagonal form. It substitutes for the PLASMA
 // band-reduction kernels used in the paper's experiments.
+//
+// Two implementations share the same rotation kernels and produce
+// bitwise-identical results: Reduce, the single-threaded sweep-major
+// reference, and ReduceParallel, which decomposes the sweeps into
+// caravan chase segments over fixed-width column windows and executes
+// them as a diagonal-wavefront task graph on the internal/sched runtime
+// (see parallel.go for the decomposition and the ordering argument).
+// BuildReduceGraph exposes the DAG itself for executors, simulators, and
+// critical-path analysis.
 package band
 
 import (

@@ -15,6 +15,12 @@ import "math"
 // superdiagonal kb+1, which the next column rotation pushes kb columns
 // further — O(n²·KU) work in total, memory bound, exactly the profile the
 // paper ascribes to BND2BD.
+//
+// Reduce executes every sweep to completion before starting the next: it
+// is single-threaded and serves as the numerical reference (oracle) for
+// the pipelined parallel implementation in parallel.go, which applies the
+// exact same rotations in a sequentially consistent order and is therefore
+// bitwise-identical.
 func Reduce(b *Matrix) *Matrix {
 	n := b.N
 	if n == 0 {
@@ -24,23 +30,16 @@ func Reduce(b *Matrix) *Matrix {
 	for kb := b.KU; kb >= 2; kb-- {
 		w.eliminateDiagonal(kb)
 	}
-	out := New(n, min(1, n-1))
-	for i := 0; i < n; i++ {
-		out.diags[0][i] = w.get(i, i)
-	}
-	if n > 1 {
-		for i := 0; i < n-1; i++ {
-			out.diags[1][i] = w.get(i, i+1)
-		}
-	}
-	return out
+	return w.extract()
 }
 
 // work is a band with one extra superdiagonal and one subdiagonal to hold
 // the transient bulge elements during the chase.
 type work struct {
 	n, ku int // ku = the original bandwidth
-	// diags[s+1][i] = element (i, i+s) for −1 ≤ s ≤ ku+1.
+	// diags[s+1][i] = element (i, i+s) for 0 ≤ s ≤ ku+1 (indexed by row i)
+	// and diags[0][j] = element (j+1, j) (the subdiagonal, indexed by
+	// column j).
 	diags [][]float64
 }
 
@@ -76,13 +75,19 @@ func (w *work) get(i, j int) float64 {
 	return w.diags[0][j]
 }
 
-func (w *work) set(i, j int, v float64) {
-	s := j - i
-	if s >= 0 {
-		w.diags[s+1][i] = v
-	} else {
-		w.diags[0][j] = v
+// extract copies the main diagonal and first superdiagonal into a fresh
+// bidiagonal matrix, the result shape of the reduction.
+func (w *work) extract() *Matrix {
+	n := w.n
+	if n == 0 {
+		return New(0, 0)
 	}
+	out := New(n, min(1, n-1))
+	copy(out.diags[0], w.diags[1])
+	if n > 1 {
+		copy(out.diags[1], w.diags[2])
+	}
+	return out
 }
 
 // givens returns (c, s) with c·f + s·g = r and −s·f + c·g = 0 (dlartg).
@@ -98,72 +103,117 @@ func givens(f, g float64) (c, s float64) {
 }
 
 // rotCols post-multiplies columns (c1, c1+1) by the rotation: col1 ←
-// c·col1 + s·col2, col2 ← −s·col1 + c·col2, over rows [rlo, rhi].
-func (w *work) rotCols(c1 int, c, s float64, rlo, rhi int) {
-	c2 := c1 + 1
-	for r := rlo; r <= rhi; r++ {
-		v1, v2 := w.get(r, c1), w.get(r, c2)
-		w.set(r, c1, c*v1+s*v2)
-		w.set(r, c2, -s*v1+c*v2)
+// c·col1 + s·col2, col2 ← −s·col1 + c·col2, over rows [rlo, rhi]. The rows
+// index the diagonal slices directly (the rotation never leaves the
+// extended band, and rhi ≤ c1+1 at every call site), so the hot loop runs
+// without per-element range logic; the arithmetic is exactly the
+// v1/v2 update pair, which keeps every execution path bitwise-identical.
+func (w *work) rotCols(c1 int, cs, sn float64, rlo, rhi int) {
+	d := w.diags
+	last := rhi
+	if last > c1 {
+		last = c1
+	}
+	for r := rlo; r <= last; r++ {
+		s1, s2 := d[c1-r+1], d[c1-r+2]
+		v1, v2 := s1[r], s2[r]
+		s1[r] = cs*v1 + sn*v2
+		s2[r] = -sn*v1 + cs*v2
+	}
+	if rhi == c1+1 {
+		// Row c1+1 holds the subdiagonal element (c1+1, c1), which lives in
+		// diags[0] indexed by column.
+		r := c1 + 1
+		v1, v2 := d[0][c1], d[1][r]
+		d[0][c1] = cs*v1 + sn*v2
+		d[1][r] = -sn*v1 + cs*v2
 	}
 }
 
 // rotRows pre-multiplies rows (r1, r1+1) by the rotation: row1 ←
 // c·row1 + s·row2, row2 ← −s·row1 + c·row2, over columns [clo, chi].
-func (w *work) rotRows(r1 int, c, s float64, clo, chi int) {
-	r2 := r1 + 1
-	for col := clo; col <= chi; col++ {
-		v1, v2 := w.get(r1, col), w.get(r2, col)
-		w.set(r1, col, c*v1+s*v2)
-		w.set(r2, col, -s*v1+c*v2)
+// Every call site uses clo == r1 (the diagonal/subdiagonal pair).
+func (w *work) rotRows(r1 int, cs, sn float64, clo, chi int) {
+	d := w.diags
+	col := clo
+	if col == r1 {
+		// Column r1 pairs the diagonal (r1, r1) with the subdiagonal
+		// (r1+1, r1), which diags[0] indexes by column.
+		v1, v2 := d[1][r1], d[0][r1]
+		d[1][r1] = cs*v1 + sn*v2
+		d[0][r1] = -sn*v1 + cs*v2
+		col++
+	}
+	for ; col <= chi; col++ {
+		s1, s2 := d[col-r1+1], d[col-r1]
+		v1, v2 := s1[r1], s2[r1+1]
+		s1[r1] = cs*v1 + sn*v2
+		s2[r1+1] = -sn*v1 + cs*v2
 	}
 }
 
-// eliminateDiagonal removes every element of superdiagonal kb, chasing the
-// resulting bulges off the band.
-func (w *work) eliminateDiagonal(kb int) {
+// annihilate is round 0 of sweep (kb, i): it zeroes element (i, i+kb) with
+// a right rotation on columns (i+kb−1, i+kb), creating the subdiagonal
+// bulge the chase rounds push off the band. It reports whether a bulge was
+// created; when the element is already exactly zero nothing is written, so
+// running the chase rounds anyway (as the pipelined tasks do) is a no-op
+// bitwise-identical to skipping them.
+func (w *work) annihilate(kb, i int) bool {
+	c := i + kb
+	f := w.get(i, c-1)
+	g := w.get(i, c)
+	if g == 0 {
+		return false
+	}
+	cs, sn := givens(f, g)
+	rlo := max(0, c-1-kb)
+	rhi := min(w.n-1, c) // row c receives the subdiagonal bulge
+	w.rotCols(c-1, cs, sn, rlo, rhi)
+	return true
+}
+
+// chaseRound is chase round r ≥ 1 of sweep (kb, i), centered at column
+// c = i + r·kb: a left rotation on rows (c−1, c) zeroes the subdiagonal
+// bulge at (c, c−1) and spills one element to superdiagonal kb+1 at
+// (c−1, c+kb); a right rotation on columns (c+kb−1, c+kb) zeroes the
+// spill, pushing the bulge kb columns further. It returns false when the
+// round falls outside the band (the chase is over). Rotations whose target
+// is exactly zero are skipped, so phantom rounds (no bulge in flight)
+// write nothing.
+func (w *work) chaseRound(kb, i, r int) bool {
 	n := w.n
-	for i := 0; i+kb < n; i++ {
-		// Annihilate (i, i+kb) with a right rotation on columns
-		// (i+kb−1, i+kb).
-		c := i + kb
-		f := w.get(i, c-1)
-		g := w.get(i, c)
-		if g == 0 {
+	c := i + r*kb
+	if c >= n {
+		return false
+	}
+	f := w.get(c-1, c-1)
+	g := w.get(c, c-1)
+	if g != 0 {
+		cs, sn := givens(f, g)
+		chi := min(n-1, c+kb) // col c+kb receives the spill at row c−1
+		w.rotRows(c-1, cs, sn, c-1, chi)
+	}
+	if c+kb > n-1 {
+		return false
+	}
+	f = w.get(c-1, c+kb-1)
+	g = w.get(c-1, c+kb)
+	if g != 0 {
+		cs, sn := givens(f, g)
+		rhi := min(n-1, c+kb) // row c+kb receives the next bulge
+		w.rotCols(c+kb-1, cs, sn, c-1, rhi)
+	}
+	return true
+}
+
+// eliminateDiagonal removes every element of superdiagonal kb, chasing the
+// resulting bulges off the band one sweep at a time.
+func (w *work) eliminateDiagonal(kb int) {
+	for i := 0; i+kb < w.n; i++ {
+		if !w.annihilate(kb, i) {
 			continue
 		}
-		cs, sn := givens(f, g)
-		rlo := max(0, c-1-kb)
-		rhi := min(n-1, c) // row c receives the subdiagonal bulge
-		w.rotCols(c-1, cs, sn, rlo, rhi)
-
-		// Chase the bulge: subdiagonal at (c, c−1), then superdiagonal
-		// kb+1 at (c−1, c+kb), advancing kb columns per round.
-		for {
-			if c >= n {
-				break
-			}
-			// Zero (c, c−1) with a left rotation on rows (c−1, c).
-			f = w.get(c-1, c-1)
-			g = w.get(c, c-1)
-			if g != 0 {
-				cs, sn = givens(f, g)
-				chi := min(n-1, c+kb) // col c+kb receives the spill at row c−1
-				w.rotRows(c-1, cs, sn, c-1, chi)
-			}
-			// Zero the spill at (c−1, c+kb) with a right rotation on
-			// columns (c+kb−1, c+kb).
-			if c+kb > n-1 {
-				break
-			}
-			f = w.get(c-1, c+kb-1)
-			g = w.get(c-1, c+kb)
-			if g != 0 {
-				cs, sn = givens(f, g)
-				rhi := min(n-1, c+kb) // row c+kb receives the next bulge
-				w.rotCols(c+kb-1, cs, sn, c-1, rhi)
-			}
-			c += kb
+		for r := 1; w.chaseRound(kb, i, r); r++ {
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/tiled-la/bidiag/internal/band"
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/trees"
@@ -192,4 +193,20 @@ func Theorem1Ratio(alpha, beta float64, q int) float64 {
 		p = q
 	}
 	return MeasureBidiag(trees.Greedy, p, q) / MeasureRBidiag(trees.Greedy, p, q)
+}
+
+// MeasureBND2BD builds the pipelined BND2BD DAG of an n×n band with ku
+// superdiagonals (window ≤ 0: the default width) and returns its measured
+// critical path and total work, both in modeled rotation flops — the
+// second-stage counterpart of the Section IV GE2BND measurements. The
+// Table I nb³/3 unit does not apply to chase segments, whose cost depends
+// on kb and window, so the natural unit here is the flop model itself;
+// work/cp bounds the speedup of the pipelined stage on unbounded
+// resources, and with a single window (window ≥ n) the DAG degenerates to
+// a chain with cp = work.
+func MeasureBND2BD(n, ku, window int) (cp, work float64) {
+	g := sched.NewGraph()
+	band.BuildReduceGraph(g, band.New(n, ku), window)
+	cp = g.CriticalPath(sched.FlopsTime)
+	return cp, g.Summary().TotalFlops
 }

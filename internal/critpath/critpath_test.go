@@ -225,3 +225,29 @@ func TestPipelinedQRBeatsPerPanelBinomial(t *testing.T) {
 }
 
 func schedGraph() *sched.Graph { return sched.NewGraph() }
+
+// The pipelined BND2BD DAG must expose real wavefront parallelism: with
+// several windows the critical path is a small fraction of the total
+// work, and with a single window (window ≥ n) every segment chains on the
+// same handle, so the critical path equals the total work.
+func TestMeasureBND2BD(t *testing.T) {
+	cp, work := MeasureBND2BD(512, 16, 16)
+	if cp <= 0 || work <= 0 || cp > work*(1+1e-12) {
+		t.Fatalf("degenerate measurement: cp=%g work=%g", cp, work)
+	}
+	if par := work / cp; par < 2 {
+		t.Errorf("pipelined BND2BD parallelism %.2f < 2 (cp=%g work=%g)", par, cp, work)
+	}
+
+	cpSer, workSer := MeasureBND2BD(256, 8, 4096)
+	if d := math.Abs(cpSer - workSer); d > 1e-9*workSer {
+		t.Errorf("single window must serialize: cp=%g work=%g", cpSer, workSer)
+	}
+
+	// The wavefront must not let narrower windows lengthen the critical
+	// path unboundedly: work is window-independent.
+	_, workNarrow := MeasureBND2BD(512, 16, 48)
+	if d := math.Abs(workNarrow - work); d > 1e-9*work {
+		t.Errorf("model work depends on window: %g vs %g", workNarrow, work)
+	}
+}

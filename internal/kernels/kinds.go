@@ -23,13 +23,19 @@ const (
 	LACPYKind
 	// LASETKind zeroes a tile. Zero weight, like LACPYKind.
 	LASETKind
+	// BRDSEGKind is one chase segment of the pipelined BND2BD band
+	// reduction (internal/band): a caravan of Givens bulge chases advanced
+	// across one column window. It is not a Table I kernel — its cost is
+	// data-size dependent, so each task carries its own modeled weight and
+	// the table entry is 0.
+	BRDSEGKind
 	numKinds
 )
 
 var kindNames = [...]string{
 	"GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR",
 	"GELQT", "UNMLQ", "TSLQT", "TSMLQ", "TTLQT", "TTMLQ",
-	"LACPY", "LASET",
+	"LACPY", "LASET", "BRDSEG",
 }
 
 func (k Kind) String() string {
@@ -43,7 +49,7 @@ func (k Kind) String() string {
 var tableI = [numKinds]float64{
 	GEQRTKind: 4, UNMQRKind: 6, TSQRTKind: 6, TSMQRKind: 12, TTQRTKind: 2, TTMQRKind: 6,
 	GELQTKind: 4, UNMLQKind: 6, TSLQTKind: 6, TSMLQKind: 12, TTLQTKind: 2, TTMLQKind: 6,
-	LACPYKind: 0, LASETKind: 0,
+	LACPYKind: 0, LASETKind: 0, BRDSEGKind: 0,
 }
 
 // Weight returns the Table I critical-path weight of kernel k, in units of

@@ -67,6 +67,10 @@ func Miriel() Model {
 	m.Eff[kernels.TTMLQKind] = 0.44
 	m.Eff[kernels.LACPYKind] = 1 // zero flops anyway
 	m.Eff[kernels.LASETKind] = 1
+	// BND2BD chase segments are memory bound: per core they reach about
+	// MemBoundRate/CoresPerNode of the GEMM peak (Section VI treats the
+	// whole stage at 20 GFlop/s per node).
+	m.Eff[kernels.BRDSEGKind] = m.MemBoundRate / float64(m.CoresPerNode) / m.PeakPerCore
 	return m
 }
 

@@ -1,5 +1,7 @@
 package nla
 
+import "os"
+
 // useAVX2 gates the assembly micro-kernel. It is decided once at init;
 // every executor worker therefore runs the same kernel, which keeps
 // parallel and distributed results bitwise-identical to RunSequential.
@@ -15,8 +17,14 @@ func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
 
 // detectAVX2FMA reports whether the CPU supports AVX2 and FMA and the OS
-// saves YMM state (CPUID leaves 1 and 7, XGETBV XCR0 bits 1-2).
+// saves YMM state (CPUID leaves 1 and 7, XGETBV XCR0 bits 1-2). Setting
+// BIDIAG_NOASM=1 (any value but "" and "0") forces the portable pure-Go
+// micro-kernel regardless of the hardware, so CI can exercise the
+// fallback path even on AVX2 runners.
 func detectAVX2FMA() bool {
+	if v := os.Getenv("BIDIAG_NOASM"); v != "" && v != "0" {
+		return false
+	}
 	maxLeaf, _, _, _ := cpuidex(0, 0)
 	if maxLeaf < 7 {
 		return false

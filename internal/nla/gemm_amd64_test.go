@@ -1,0 +1,21 @@
+package nla
+
+import "testing"
+
+// BIDIAG_NOASM must force the pure-Go micro-kernel: CI reruns the nla and
+// kernels tests with it set so the portable GEMM path is exercised on
+// AVX2 hardware too. (The package-level useAVX2 is decided at init, so
+// the override takes effect for whole processes, which is exactly how the
+// CI leg uses it; here we pin the detector itself.)
+func TestNoASMEnvOverride(t *testing.T) {
+	t.Setenv("BIDIAG_NOASM", "")
+	hw := detectAVX2FMA()
+	t.Setenv("BIDIAG_NOASM", "1")
+	if detectAVX2FMA() {
+		t.Fatalf("BIDIAG_NOASM=1 must disable the assembly micro-kernel")
+	}
+	t.Setenv("BIDIAG_NOASM", "0")
+	if got := detectAVX2FMA(); got != hw {
+		t.Fatalf("BIDIAG_NOASM=0 must behave like unset: got %v, hardware %v", got, hw)
+	}
+}

@@ -188,3 +188,37 @@ func TestGE2BNDParityWithCustomBlocking(t *testing.T) {
 		}
 	}
 }
+
+// TestSingularValuesParityAcrossBND2BD pins the full pipeline through the
+// public API: the pipelined parallel BND2BD must give bitwise-identical
+// singular values to the sequential reference, at every worker count.
+// (GE2BND is pinned to a non-adaptive tree so the first stage is itself
+// worker-independent.)
+func TestSingularValuesParityAcrossBND2BD(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const m, n = 90, 60 // not multiples of nb
+	a := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	ref, err := SingularValues(a, &Options{NB: 16, Workers: 1, Tree: Greedy, BND2BD: BND2BDSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, mode := range []BND2BD{BND2BDAuto, BND2BDPipelined} {
+			got, err := SingularValues(a, &Options{NB: 16, Workers: workers, Tree: Greedy, BND2BD: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d mode=%v: singular value %d differs bitwise: %v != %v",
+						workers, mode, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

@@ -23,6 +23,17 @@
 // sequential reference instead), so the full pipeline — not just the
 // first stage — scales with Options.Workers.
 //
+// Setting Options.Fused goes one step further for SingularValues: the
+// GE2BND kernels and the BND2BD chase segments are emitted into ONE task
+// graph (internal/pipeline) with cross-stage dependencies, so the bulge
+// chase starts on the leading band columns while the trailing stage-1
+// updates are still running — no barrier, no intermediate band
+// materialization. The fused and staged paths are bitwise-identical; the
+// staged path (Fused = false, the default) remains the reference oracle.
+// All engine dispatch — sequential order, the shared-memory pool, the
+// distributed owner-compute executor — lives in a single
+// pipeline.Executor layer that every public entry point routes through.
+//
 // Setting Options.Distributed executes the reduction on a grid of
 // in-process distributed-memory nodes instead: tiles are distributed 2D
 // block-cyclically, every QR/LQ panel uses the paper's hierarchical
@@ -52,7 +63,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/dist"
 	"github.com/tiled-la/bidiag/internal/nla"
-	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/pipeline"
 	"github.com/tiled-la/bidiag/internal/tile"
 	"github.com/tiled-la/bidiag/internal/trees"
 )
@@ -189,6 +200,21 @@ type Options struct {
 	// the pipelined task-graph reduction by default, or the sequential
 	// reference. The two are bitwise-identical.
 	BND2BD BND2BD
+	// BND2BDWindow is the column width of the wavefront windows the
+	// pipelined BND2BD stage is cut into (both staged and fused).
+	// 0 selects the default (about n/16, clamped to [32, 512]); narrower
+	// windows deepen the pipeline at the cost of more, finer tasks.
+	// Negative values are rejected.
+	BND2BDWindow int
+	// Fused executes SingularValues as ONE fused task graph: the BND2BD
+	// chase segments are emitted into the same DAG as the GE2BND kernels,
+	// with cross-stage dependencies instead of a barrier, so the bulge
+	// chase overlaps the trailing stage-1 updates. The result is
+	// bitwise-identical to the staged path, which stays available (the
+	// default) as the oracle. Ignored by GE2BND and SVD — their results
+	// are a first-stage artifact — and ineffective under
+	// BND2BD = BND2BDSequential, which forces the staged reference.
+	Fused bool
 }
 
 // GemmBlock holds the cache-block sizes of the packed GEMM: panels of A
@@ -229,7 +255,7 @@ type DistStats struct {
 	Utilization float64
 }
 
-func (o *Options) withDefaults() Options {
+func (o *Options) withDefaults() (Options, error) {
 	var v Options
 	if o != nil {
 		v = *o
@@ -243,7 +269,10 @@ func (o *Options) withDefaults() Options {
 	if v.Gamma <= 0 {
 		v.Gamma = 2
 	}
-	return v
+	if v.BND2BDWindow < 0 {
+		return v, fmt.Errorf("bidiag: BND2BDWindow must be ≥ 0 (0 selects the default), got %d", v.BND2BDWindow)
+	}
+	return v, nil
 }
 
 // Dense is a column-major dense matrix, the package's input type.
@@ -288,10 +317,11 @@ type Band struct {
 	// distributed (Options.Distributed non-nil); nil otherwise.
 	Dist *DistStats
 
-	// workers and bnd2bd carry the Options the band was produced under, so
-	// SingularValues routes its BND2BD stage the same way.
+	// workers, bnd2bd and window carry the Options the band was produced
+	// under, so SingularValues routes its BND2BD stage the same way.
 	workers int
 	bnd2bd  BND2BD
+	window  int
 }
 
 // N returns the order of the band matrix.
@@ -305,7 +335,8 @@ func (b *Band) At(i, j int) float64 { return b.b.At(i, j) }
 
 // SingularValues finishes the pipeline on the band: BND2BD bulge chasing
 // followed by the bidiagonal QR iteration. The BND2BD stage runs as a
-// pipelined task graph on the worker count the band was produced with,
+// pipelined task graph (a stage-2 pipeline.Plan on the pool executor)
+// with the worker count and wavefront window the band was produced with,
 // unless the producing Options forced the sequential reference; either
 // way the outcome is bitwise-identical.
 func (b *Band) SingularValues() ([]float64, error) {
@@ -313,7 +344,11 @@ func (b *Band) SingularValues() ([]float64, error) {
 	if b.bnd2bd == BND2BDSequential {
 		r = band.Reduce(b.b)
 	} else {
-		r = band.ReduceParallel(b.b, max(b.workers, 1), 0)
+		p := pipeline.BuildBND2BD(b.b, b.window)
+		if _, err := pipeline.Run(p, pipeline.Pool{Workers: max(b.workers, 1)}); err != nil {
+			return nil, err
+		}
+		r = p.Bidiagonal()
 	}
 	d, e := r.Bidiagonal()
 	return bdsqr.SingularValues(d, e)
@@ -322,37 +357,31 @@ func (b *Band) SingularValues() ([]float64, error) {
 // GE2BND reduces a to band-bidiagonal form using the tiled BIDIAG or
 // R-BIDIAG algorithm. The input matrix is not modified. Matrices with
 // m < n are reduced through their transpose (singular values are
-// unaffected).
+// unaffected), and the Algorithm choice applies to the transposed —
+// m ≥ n — problem: R-bidiagonalization composes with the implicit
+// transpose, so Algorithm = RBidiag is valid for every nonempty shape
+// and QR-factorizes the (possibly transposed) input first.
 func GE2BND(a *Dense, o *Options) (*Band, error) {
-	opts := o.withDefaults()
-	treeKind, err := opts.Tree.kind()
+	opts, src, treeKind, _, err := prepare(a, o)
 	if err != nil {
 		return nil, err
 	}
-	src := a.inner
-	if src.Rows < src.Cols {
-		src = src.Transpose()
+	plan, ex, err := buildPlan(src, opts, treeKind, nil, false)
+	if err != nil {
+		return nil, err
 	}
-	m, n := src.Rows, src.Cols
-	if m == 0 || n == 0 {
-		return nil, errors.New("bidiag: empty matrix")
-	}
-
-	if opts.Algorithm == RBidiag && m < n {
-		return nil, errors.New("bidiag: R-bidiagonalization requires m ≥ n")
-	}
-
-	result, useR, tasks, ds, err := buildAndRun(src, opts, treeKind, nil)
+	rep, err := pipeline.Run(plan, ex)
 	if err != nil {
 		return nil, err
 	}
 	return &Band{
-		b:             result.ExtractBand(result.NB),
-		UsedRBidiag:   useR,
-		TasksExecuted: tasks,
-		Dist:          ds,
+		b:             plan.Tiles.ExtractBand(plan.Tiles.NB),
+		UsedRBidiag:   plan.UsedRBidiag,
+		TasksExecuted: rep.Tasks,
+		Dist:          distStatsOf(rep),
 		workers:       opts.Workers,
 		bnd2bd:        opts.BND2BD,
+		window:        opts.BND2BDWindow,
 	}, nil
 }
 
@@ -384,77 +413,117 @@ func distPlan(d *DistOptions, opts Options, m, n int) (dist.Grid, int, error) {
 	return grid, wpn, grid.Validate()
 }
 
-// buildAndRun constructs the GE2BND task graph over the tiled copy of src
-// and executes it with the configured engine: the shared-memory pool, or
-// — when opts.Distributed is set — the owner-compute executor over a
-// block-cyclic grid with hierarchical reduction trees.
-func buildAndRun(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.Recorder) (*tile.Matrix, bool, int, *DistStats, error) {
+// prepare is the shared prologue of every public entry point: option
+// defaults and validation, reduction-tree resolution, the implicit
+// transpose of wide inputs (m < n), and the empty-matrix check.
+func prepare(a *Dense, o *Options) (opts Options, src *nla.Matrix, treeKind trees.Kind, transposed bool, err error) {
+	opts, err = o.withDefaults()
+	if err != nil {
+		return opts, nil, 0, false, err
+	}
+	treeKind, err = opts.Tree.kind()
+	if err != nil {
+		return opts, nil, 0, false, err
+	}
+	src = a.inner
+	if src.Rows < src.Cols {
+		src = src.Transpose()
+		transposed = true
+	}
+	if src.Rows == 0 || src.Cols == 0 {
+		return opts, nil, 0, false, errors.New("bidiag: empty matrix")
+	}
+	return opts, src, treeKind, transposed, nil
+}
+
+// buildPlan resolves opts into a pipeline Plan and the Executor that
+// will run it — the single place engine selection happens. With fuse the
+// plan carries the BND2BD stage in the same graph (SingularValues'
+// fused path); the shape and engine logic are identical either way.
+func buildPlan(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.Recorder, fuse bool) (*pipeline.Plan, pipeline.Executor, error) {
 	m, n := src.Rows, src.Cols
 	useR := opts.Algorithm == RBidiag ||
 		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
 
-	work := tile.FromDense(src, opts.NB)
 	sh := core.ShapeOf(m, n, opts.NB)
 	blocking := nla.Blocking(opts.Gemm)
 	if rec != nil {
 		rec.Blocking = blocking
 	}
 	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec, Blocking: blocking}
-	var grid dist.Grid
-	var wpn int
+	var ex pipeline.Executor = pipeline.Pool{Workers: opts.Workers}
 	if d := opts.Distributed; d != nil {
-		var err error
-		grid, wpn, err = distPlan(d, opts, m, n)
+		grid, wpn, err := distPlan(d, opts, m, n)
 		if err != nil {
-			return nil, false, 0, nil, err
+			return nil, nil, err
 		}
 		tc := dist.AutoDefaults(sh, grid, wpn)
 		tc.Gamma = opts.Gamma
 		cfg = tc.Configure()
 		cfg.Recorder = rec
 		cfg.Blocking = blocking
+		ex = pipeline.OwnerCompute{Grid: grid, WorkersPerNode: wpn}
 	}
 
-	g := sched.NewGraph()
-	result := work
-	if useR {
-		_, r := core.BuildRBidiag(g, sh, work, cfg)
-		result = r
-	} else {
-		core.BuildBidiag(g, sh, work, cfg)
-	}
+	plan := pipeline.Build(pipeline.Spec{
+		Shape:   sh,
+		Data:    tile.FromDense(src, opts.NB),
+		Config:  cfg,
+		RBidiag: useR,
+		Fused:   fuse,
+		Window:  opts.BND2BDWindow,
+	})
+	return plan, ex, nil
+}
 
-	var ds *DistStats
-	switch {
-	case opts.Distributed != nil:
-		res, err := dist.Execute(g, dist.Options{Grid: grid, WorkersPerNode: wpn})
-		if err != nil {
-			return nil, false, 0, nil, err
-		}
-		ds = &DistStats{
-			Nodes:        res.Nodes,
-			GridRows:     grid.R,
-			GridCols:     grid.C,
-			CommCount:    res.CommCount,
-			CommVolume:   res.CommVolume,
-			PayloadBytes: res.PayloadBytes,
-			Wall:         res.Wall,
-			Utilization:  res.Utilization,
-		}
-	case opts.Workers > 1:
-		g.RunParallel(opts.Workers)
-	default:
-		g.RunSequential()
+// distStatsOf converts an executor report's distributed statistics into
+// the public DistStats (nil for shared-memory runs).
+func distStatsOf(rep *pipeline.Report) *DistStats {
+	if rep.Dist == nil {
+		return nil
 	}
-	return result, useR, len(g.Tasks), ds, nil
+	return &DistStats{
+		Nodes:        rep.Dist.Nodes,
+		GridRows:     rep.GridRows,
+		GridCols:     rep.GridCols,
+		CommCount:    rep.Dist.CommCount,
+		CommVolume:   rep.Dist.CommVolume,
+		PayloadBytes: rep.Dist.PayloadBytes,
+		Wall:         rep.Dist.Wall,
+		Utilization:  rep.Dist.Utilization,
+	}
 }
 
 // SingularValues returns the singular values of a in descending order,
-// computed by the full GE2BND + BND2BD + BD2VAL pipeline.
+// computed by the full GE2BND + BND2BD + BD2VAL pipeline. With
+// Options.Fused the first two stages run as one fused task graph —
+// the bulge chase overlaps the trailing GE2BND updates — otherwise they
+// run staged with a barrier in between; the two paths are
+// bitwise-identical.
 func SingularValues(a *Dense, o *Options) ([]float64, error) {
-	b, err := GE2BND(a, o)
+	opts, src, treeKind, _, err := prepare(a, o)
 	if err != nil {
 		return nil, err
 	}
-	return b.SingularValues()
+	fuse := opts.Fused && opts.BND2BD != BND2BDSequential
+	plan, ex, err := buildPlan(src, opts, treeKind, nil, fuse)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pipeline.Run(plan, ex); err != nil {
+		return nil, err
+	}
+	if !fuse {
+		// Staged: extract the band and finish through the same stage-2
+		// dispatch every Band uses.
+		b := &Band{
+			b:       plan.Tiles.ExtractBand(plan.Tiles.NB),
+			workers: opts.Workers,
+			bnd2bd:  opts.BND2BD,
+			window:  opts.BND2BDWindow,
+		}
+		return b.SingularValues()
+	}
+	d, e := plan.Bidiagonal().Bidiagonal()
+	return bdsqr.SingularValues(d, e)
 }

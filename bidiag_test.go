@@ -206,12 +206,21 @@ func TestStringers(t *testing.T) {
 	}
 }
 
-func TestRBidiagOnWideRejected(t *testing.T) {
-	a := randomDense(9, 10, 20) // becomes 20x10 after transpose, fine...
-	// Transposed internally to 20x10, so RBidiag is legal; use explicit
-	// m<n via a square-defeating case: not possible through the public
-	// API since we transpose first. Instead verify RBidiag works on the
-	// transposed wide input.
+// Regression test for the once-unreachable "RBidiag && m < n" guard:
+// GE2BND transposes wide inputs before the algorithm choice applies, so
+// R-bidiagonalization composes with the transpose and must be accepted —
+// and actually run — for every nonempty shape. (The guard used to sit
+// after the transpose, where m ≥ n always holds; it has been removed and
+// the composition documented instead.)
+func TestRBidiagComposesWithTranspose(t *testing.T) {
+	a := randomDense(9, 10, 20) // wide: reduced through its 20×10 transpose
+	b, err := GE2BND(a, &Options{Algorithm: RBidiag, NB: 4})
+	if err != nil {
+		t.Fatalf("RBidiag on a wide input must compose with the transpose: %v", err)
+	}
+	if !b.UsedRBidiag {
+		t.Fatalf("explicit RBidiag did not run the R-bidiagonalization path")
+	}
 	got, err := SingularValues(a, &Options{Algorithm: RBidiag, NB: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -224,13 +233,54 @@ func TestRBidiagOnWideRejected(t *testing.T) {
 
 func TestOptionsDefaults(t *testing.T) {
 	var o *Options
-	v := o.withDefaults()
+	v, err := o.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v.NB != 64 || v.Workers < 1 || v.Gamma != 2 {
 		t.Fatalf("nil options defaults wrong: %+v", v)
 	}
-	v2 := (&Options{NB: 128, Gamma: 4}).withDefaults()
+	v2, err := (&Options{NB: 128, Gamma: 4}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if v2.NB != 128 || v2.Gamma != 4 {
 		t.Fatalf("explicit options overridden: %+v", v2)
+	}
+	if _, err := (&Options{BND2BDWindow: -1}).withDefaults(); err == nil {
+		t.Fatalf("negative BND2BDWindow must be rejected")
+	}
+}
+
+// TestBND2BDWindowOption pins the satellite knob: a negative window is
+// rejected by every entry point, and any positive window yields bitwise
+// the same singular values as the default (the window moves task
+// boundaries, never rotations).
+func TestBND2BDWindowOption(t *testing.T) {
+	a := randomDense(31, 70, 50)
+	if _, err := GE2BND(a, &Options{BND2BDWindow: -3}); err == nil {
+		t.Fatalf("GE2BND must reject a negative window")
+	}
+	if _, err := SingularValues(a, &Options{BND2BDWindow: -3}); err == nil {
+		t.Fatalf("SingularValues must reject a negative window")
+	}
+	if _, err := SVD(a, &Options{BND2BDWindow: -3}); err == nil {
+		t.Fatalf("SVD must reject a negative window")
+	}
+	ref, err := SingularValues(a, &Options{NB: 16, Tree: Greedy, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 7, 33, 1024, 1 << 40} {
+		got, err := SingularValues(a, &Options{NB: 16, Tree: Greedy, Workers: 2, BND2BDWindow: window})
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("window %d changed singular value %d: %v != %v", window, i, got[i], ref[i])
+			}
+		}
 	}
 }
 
@@ -264,5 +314,27 @@ func TestInvalidTreeRejected(t *testing.T) {
 	}
 	if _, err := SVD(a, &Options{Tree: Tree(99)}); err == nil {
 		t.Fatalf("invalid tree must error in SVD")
+	}
+}
+
+func TestPipelineCriticalPath(t *testing.T) {
+	fused, s1, s2, err := PipelineCriticalPath(Greedy, 256, 256, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused >= s1+s2 {
+		t.Fatalf("square fused cp %v not strictly below staged sum %v", fused, s1+s2)
+	}
+	if fused < s1 || fused < s2 {
+		t.Fatalf("fused cp %v below a single stage (%v, %v)", fused, s1, s2)
+	}
+	if _, _, _, err := PipelineCriticalPath(Auto, 256, 256, 32, 0); err == nil {
+		t.Fatalf("Auto tree must be rejected")
+	}
+	if _, _, _, err := PipelineCriticalPath(Greedy, 128, 256, 32, 0); err == nil {
+		t.Fatalf("m < n must be rejected")
+	}
+	if _, _, _, err := PipelineCriticalPath(Greedy, 256, 256, 32, -1); err == nil {
+		t.Fatalf("negative window must be rejected")
 	}
 }

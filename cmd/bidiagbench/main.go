@@ -11,6 +11,7 @@
 //	bidiagbench -m 1024 -n 1024 -nb 64 -workers 1   # one timed GE2BND, GFLOP/s
 //	bidiagbench -m 4096 -n 1024 -json BENCH_ge2bnd.json
 //	bidiagbench -stage bnd2bd -n 4096 -ku 64 -workers 8 -json BENCH_bnd2bd.json
+//	bidiagbench -stage full -m 1024 -nb 64 -workers 4 -json BENCH_full.json
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
@@ -26,7 +27,11 @@
 // BENCH_*.json performance trajectory is tracked in. With -stage bnd2bd
 // the timed run is the pipelined second stage instead: an n×n band of
 // bandwidth -ku reduced to bidiagonal form on the task runtime, rated
-// against the data-independent rotation-flop model.
+// against the data-independent rotation-flop model. With -stage full the
+// timed run is the fused end-to-end pipeline (Options.Fused): GE2BND and
+// BND2BD in one task graph plus the bidiagonal QR iteration, rated
+// against the sum of the GE2BND flop count and the BND2BD rotation-flop
+// model (-staged times the barrier path instead, for comparison).
 package main
 
 import (
@@ -85,6 +90,7 @@ var registry = map[string]runner{
 	"crossover":   single(experiments.Crossover),
 	"asymptotics": single(experiments.Asymptotics),
 	"accuracy":    single(experiments.Accuracy),
+	"pipeline-cp": single(experiments.PipelineCP),
 
 	// Ablations of the design choices called out in DESIGN.md.
 	"ablation-deps":     single(experiments.AblationDeps),
@@ -127,7 +133,8 @@ type perfResult struct {
 	Algorithm   string  `json:"algorithm,omitempty"`
 	Tasks       int     `json:"tasks"`
 	Reps        int     `json:"reps"`
-	WallSeconds float64 `json:"wall_seconds"` // best of Reps
+	Fused       bool    `json:"fused,omitempty"` // full-pipeline runs: fused vs staged
+	WallSeconds float64 `json:"wall_seconds"`    // best of Reps
 	GFlops      float64 `json:"gflops"`
 
 	// Distributed-run statistics; zero for shared-memory runs.
@@ -268,6 +275,63 @@ func runPerfBND2BD(n, ku, workers, reps int, jsonPath string) error {
 	return writeResult(res, jsonPath)
 }
 
+// runPerfFull times the end-to-end singular value pipeline
+// (GE2BND + BND2BD + BD2VAL) through the public API — fused into one
+// task graph by default, or staged behind a barrier with -staged — and
+// rates it against the modeled flops of both reduction stages (the
+// GE2BND operation count plus the BND2BD rotation model; the closing QR
+// iteration rides along in the wall time as it does for every user).
+func runPerfFull(m, n, nb, workers, window, reps int, fused bool, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(42))
+	rows, cols := m, n
+	if rows < cols {
+		rows, cols = cols, rows // the pipeline transposes internally; flops follow
+	}
+	a := bidiag.NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	opts := &bidiag.Options{NB: nb, Workers: workers, Algorithm: bidiag.Bidiag,
+		Fused: fused, BND2BDWindow: window}
+	res := perfResult{
+		Experiment: "full", M: m, N: n, NB: nb, Workers: workers,
+		Tree: opts.Tree.String(), Algorithm: opts.Algorithm.String(),
+		Reps: reps, Fused: fused,
+	}
+	best := time.Duration(1<<63 - 1)
+	var nsv int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		sv, err := bidiag.SingularValues(a, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		nsv = len(sv)
+		if wall < best {
+			best = wall
+		}
+	}
+	if nsv != cols {
+		return fmt.Errorf("full: got %d singular values, want %d", nsv, cols)
+	}
+	flops := baseline.PaperFlops(rows, cols) + band.ModelFlops(cols, nb)
+	res.WallSeconds = best.Seconds()
+	res.GFlops = flops / 1e9 / res.WallSeconds
+	mode := "fused"
+	if !fused {
+		mode = "staged"
+	}
+	fmt.Printf("GE2VAL %dx%d nb=%d workers=%d %s: %.3fs  %.2f GFLOP/s  (best of %d)\n",
+		m, n, nb, workers, mode, res.WallSeconds, res.GFlops, reps)
+	return writeResult(res, jsonPath)
+}
+
 // bandRandom fills an n×n band of bandwidth ku with uniform(-1, 1).
 func bandRandom(rng *rand.Rand, n, ku int) *band.Matrix {
 	b := band.New(n, ku)
@@ -290,7 +354,9 @@ func main() {
 	nFlag := flag.Int("n", 0, "columns for the timed run (default: m)")
 	nbFlag := flag.Int("nb", 64, "tile size for the timed run")
 	kuFlag := flag.Int("ku", 64, "band width for a -stage bnd2bd timed run")
-	stage := flag.String("stage", "ge2bnd", "timed-run stage: ge2bnd or bnd2bd")
+	stage := flag.String("stage", "ge2bnd", "timed-run stage: ge2bnd, bnd2bd, or full (fused end-to-end pipeline)")
+	windowFlag := flag.Int("window", 0, "BND2BD wavefront window for -stage full (0: default)")
+	staged := flag.Bool("staged", false, "run -stage full through the staged (barrier) path instead of the fused graph")
 	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the timed run")
 	repsFlag := flag.Int("reps", 3, "repetitions of the timed run (best kept)")
 	jsonOut := flag.String("json", "", "write the timed-run result as JSON to this file ('-' for stdout)")
@@ -300,17 +366,26 @@ func main() {
 	perfMode := false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "m", "n", "nb", "ku", "stage", "workers", "reps", "json":
+		case "m", "n", "nb", "ku", "stage", "window", "staged", "workers", "reps", "json":
 			perfMode = true
 		}
 	})
 	if perfMode {
 		if *exp != "" {
-			fmt.Fprintln(os.Stderr, "-exp and the timed-run flags (-m/-n/-nb/-ku/-stage/-workers/-reps/-json) are mutually exclusive")
+			fmt.Fprintln(os.Stderr, "-exp and the timed-run flags (-m/-n/-nb/-ku/-stage/-window/-staged/-workers/-reps/-json) are mutually exclusive")
 			os.Exit(2)
 		}
 		var err error
 		switch *stage {
+		case "full":
+			m, n := *mFlag, *nFlag
+			if m <= 0 {
+				m = 1024
+			}
+			if n <= 0 {
+				n = m
+			}
+			err = runPerfFull(m, n, *nbFlag, *workersFlag, *windowFlag, *repsFlag, !*staged, *jsonOut)
 		case "bnd2bd":
 			n := *nFlag
 			if n <= 0 {
@@ -336,7 +411,7 @@ func main() {
 			}
 			err = runPerf(m, n, *nbFlag, *workersFlag, *nodes, gr, gc, *repsFlag, *jsonOut)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -stage %q; want ge2bnd or bnd2bd\n", *stage)
+			fmt.Fprintf(os.Stderr, "unknown -stage %q; want ge2bnd, bnd2bd or full\n", *stage)
 			os.Exit(2)
 		}
 		if err != nil {

@@ -92,3 +92,42 @@ func TestSVDDistributed(t *testing.T) {
 		t.Fatalf("reconstruction residual %g too large", maxAbs)
 	}
 }
+
+// TestSVDTransposedDistributed covers the m < n transpose path of SVD
+// under distributed execution: the reduction runs on the transpose, so
+// the recorded left/right factors must be swapped back into U and V, the
+// thin shapes must follow the ORIGINAL orientation, the factorization
+// must reconstruct A, and the distributed statistics must be populated.
+func TestSVDTransposedDistributed(t *testing.T) {
+	a := randomDense(13, 40, 90) // wide: reduced through its 90x40 transpose
+	res, err := SVD(a, &Options{NB: 16, Distributed: &DistOptions{Nodes: 4, WorkersPerNode: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U.Rows() != 40 || res.U.Cols() != 40 || res.V.Rows() != 90 || res.V.Cols() != 40 {
+		t.Fatalf("U/V not swapped back for the wide input: U %dx%d, V %dx%d",
+			res.U.Rows(), res.U.Cols(), res.V.Rows(), res.V.Cols())
+	}
+	if e := orthoError(res.U); e > 1e-12 {
+		t.Errorf("U not orthonormal: %g", e)
+	}
+	if e := orthoError(res.V); e > 1e-12 {
+		t.Errorf("V not orthonormal: %g", e)
+	}
+	if r := svdResidual(a, res); r > 1e-12 {
+		t.Errorf("reconstruction residual %g", r)
+	}
+	d := res.Dist
+	if d == nil {
+		t.Fatal("distributed run reported no stats")
+	}
+	if d.Nodes != 4 || d.GridRows*d.GridCols != 4 {
+		t.Errorf("wrong machine: %+v", d)
+	}
+	if d.CommCount == 0 || d.CommVolume <= 0 || d.PayloadBytes <= 0 {
+		t.Errorf("implausible communication stats: %+v", d)
+	}
+	if d.Wall <= 0 || d.Utilization <= 0 || d.Utilization > 1 {
+		t.Errorf("implausible execution stats: %+v", d)
+	}
+}

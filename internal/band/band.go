@@ -6,12 +6,15 @@
 //
 // Two implementations share the same rotation kernels and produce
 // bitwise-identical results: Reduce, the single-threaded sweep-major
-// reference, and ReduceParallel, which decomposes the sweeps into
-// caravan chase segments over fixed-width column windows and executes
-// them as a diagonal-wavefront task graph on the internal/sched runtime
-// (see parallel.go for the decomposition and the ordering argument).
-// BuildReduceGraph exposes the DAG itself for executors, simulators, and
-// critical-path analysis.
+// reference, and the pipelined decomposition of the sweeps into caravan
+// chase segments over fixed-width column windows, executed as a
+// diagonal-wavefront task graph on the internal/sched runtime (see
+// parallel.go for the decomposition and the ordering argument).
+// BuildReduceGraph exposes the staged DAG for executors, simulators and
+// critical-path analysis — in production it runs behind the
+// internal/pipeline executor layer, either as a stage-2 plan or fused
+// into the GE2BND graph via Target (fused.go); ReduceParallel is the
+// in-package convenience wrapper the parity tests and benchmarks use.
 package band
 
 import (

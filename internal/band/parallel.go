@@ -1,6 +1,8 @@
 package band
 
 import (
+	"math"
+
 	"github.com/tiled-la/bidiag/internal/kernels"
 	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/sched"
@@ -185,6 +187,48 @@ func (seg segment) span(n int) (lo, hi int, flops float64, ok bool) {
 	return lo, hi, flops, true
 }
 
+// WindowWidth resolves the wavefront window parameter: a positive value
+// is used as given — clamped to n, since one window already covers the
+// whole band and an unclamped width would overflow the window count for
+// absurd inputs — and anything else selects DefaultWindow(n).
+func WindowWidth(n, window int) int {
+	if window > 0 {
+		if n > 0 && window > n {
+			return n
+		}
+		return window
+	}
+	return DefaultWindow(n)
+}
+
+// NewWindowHandles registers the per-window data handles of a BND2BD
+// reduction of an n×n band with ku superdiagonals on g and returns them
+// (nil for n = 0). window must already be resolved via WindowWidth. The
+// fused pipeline (internal/pipeline) creates the handles first, submits
+// its band-fill adapter tasks against them, and only then appends the
+// chase segments, so the sched runtime orders every segment after the
+// adapters that populate the columns it touches.
+func NewWindowHandles(g *sched.Graph, n, ku, window int) []*sched.Handle {
+	if n <= 0 {
+		return nil
+	}
+	nwin := (n + window - 1) / window
+	handles := make([]*sched.Handle, nwin)
+	// A window never holds more than its in-band columns; clamp the size
+	// model so an absurdly wide user window cannot overflow the int32
+	// handle size (the distributed comm accounting sums these).
+	cols := min(window, n)
+	winBytes64 := int64(cols) * int64(ku+3) * 8
+	if winBytes64 > math.MaxInt32 {
+		winBytes64 = math.MaxInt32
+	}
+	winBytes := int32(winBytes64)
+	for i := range handles {
+		handles[i] = g.NewHandle(winBytes, 0)
+	}
+	return handles
+}
+
 // BuildReduceGraph appends the pipelined BND2BD task DAG for b onto g and
 // returns the finisher that extracts the bidiagonal result once the
 // graph has been executed (by any sched engine: RunSequential,
@@ -192,22 +236,19 @@ func (seg segment) span(n int) (lo, hi int, flops float64, ok bool) {
 // DefaultWindow. The input matrix is not modified; the tasks share one
 // private working copy of the band.
 func BuildReduceGraph(g *sched.Graph, b *Matrix, window int) (finish func() *Matrix) {
-	n := b.N
-	w := newWork(b)
-	if window <= 0 {
-		window = DefaultWindow(n)
-	}
-	var handles []*sched.Handle
-	if n > 0 {
-		nwin := (n + window - 1) / window
-		handles = make([]*sched.Handle, nwin)
-		winBytes := int32(window * (b.KU + 3) * 8)
-		for i := range handles {
-			handles[i] = g.NewHandle(winBytes, 0)
-		}
-	}
+	window = WindowWidth(b.N, window)
+	return buildSegments(g, newWork(b), window, NewWindowHandles(g, b.N, b.KU, window))
+}
+
+// buildSegments emits the chase-segment tasks of the reduction over w
+// onto g, declaring read-write accesses on the given pre-registered
+// window handles, and returns the bidiagonal finisher. It is shared by
+// the staged entry point (BuildReduceGraph) and the fused one
+// (Target.BuildSegments).
+func buildSegments(g *sched.Graph, w *work, window int, handles []*sched.Handle) (finish func() *Matrix) {
+	n := w.n
 	var accs []sched.Access
-	for kb := b.KU; kb >= 2; kb-- {
+	for kb := w.ku; kb >= 2; kb-- {
 		skew := kb + 2
 		caravan := window / skew
 		if caravan < 1 {

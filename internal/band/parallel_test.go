@@ -122,3 +122,19 @@ func TestSegmentKernelZeroAlloc(t *testing.T) {
 		t.Fatalf("segment kernel allocates: %v allocs/op", allocs)
 	}
 }
+
+// TestWindowWidthClamp pins the resolution of the window parameter: huge
+// user windows clamp to n (one window covers the band; an unclamped
+// width would overflow the window count), and non-positive values select
+// the default.
+func TestWindowWidthClamp(t *testing.T) {
+	if w := WindowWidth(100, 1<<62); w != 100 {
+		t.Fatalf("huge window not clamped: %d", w)
+	}
+	if w := WindowWidth(100, 40); w != 40 {
+		t.Fatalf("explicit window altered: %d", w)
+	}
+	if w := WindowWidth(1000, 0); w != DefaultWindow(1000) {
+		t.Fatalf("default window not selected: %d", w)
+	}
+}

@@ -251,3 +251,40 @@ func TestMeasureBND2BD(t *testing.T) {
 		t.Errorf("model work depends on window: %g vs %g", workNarrow, work)
 	}
 }
+
+// TestMeasurePipeline pins the fused-pipeline critical-path property of
+// the cross-stage fusion: never longer than the per-stage sum, and
+// strictly shorter wherever the stages have slack to overlap — square
+// shapes across every tree and several window widths, and tall shapes
+// too (the chase of the leading columns hides behind the trailing QR
+// updates).
+func TestMeasurePipeline(t *testing.T) {
+	shapes := []struct {
+		m, n, nb, window int
+	}{
+		{256, 256, 32, 0},
+		{256, 256, 32, 48},
+		{320, 320, 64, 0},
+		{512, 128, 32, 0},
+	}
+	for _, tree := range []trees.Kind{trees.FlatTS, trees.FlatTT, trees.Greedy} {
+		for _, s := range shapes {
+			fused, s1, s2 := MeasurePipeline(tree, s.m, s.n, s.nb, s.window)
+			if fused <= 0 || s1 <= 0 || s2 <= 0 {
+				t.Fatalf("%v %dx%d: degenerate paths %v %v %v", tree, s.m, s.n, fused, s1, s2)
+			}
+			if fused > s1+s2 {
+				t.Errorf("%v %dx%d nb=%d w=%d: fused cp %v exceeds staged sum %v",
+					tree, s.m, s.n, s.nb, s.window, fused, s1+s2)
+			}
+			if s.m == s.n && fused >= s1+s2 {
+				t.Errorf("%v %dx%d nb=%d w=%d: square fused cp %v not strictly below %v",
+					tree, s.m, s.n, s.nb, s.window, fused, s1+s2)
+			}
+			if fused < s1 || fused < s2 {
+				t.Errorf("%v %dx%d: fused cp %v below a single stage (%v, %v)",
+					tree, s.m, s.n, fused, s1, s2)
+			}
+		}
+	}
+}

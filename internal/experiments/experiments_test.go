@@ -274,3 +274,27 @@ func TestAblationHighTreeShape(t *testing.T) {
 		t.Errorf("flat high tree should move least data on square: flat=%v greedy=%v", flatVol, greedyVol)
 	}
 }
+
+// TestPipelineCPGainPositive checks the fused-pipeline experiment: every
+// row must satisfy fused ≤ sum, and the square shapes must show a
+// strictly positive overlap gain.
+func TestPipelineCPGainPositive(t *testing.T) {
+	tbl := PipelineCP(small)
+	checkShape(t, tbl)
+	for i, r := range tbl.Rows {
+		sum := parseCell(t, tbl, i, 7)
+		fused := parseCell(t, tbl, i, 8)
+		gain := parseCell(t, tbl, i, 9)
+		if fused > sum {
+			t.Errorf("row %v: fused cp exceeds staged sum", r)
+		}
+		if gain < 0 {
+			t.Errorf("row %v: negative gain", r)
+		}
+		// The cp columns are exact integers (f0 of whole flop counts), so
+		// strictness is checked on them rather than the rounded gain%.
+		if r[0] == r[1] && fused >= sum {
+			t.Errorf("row %v: square shape shows no overlap gain", r)
+		}
+	}
+}

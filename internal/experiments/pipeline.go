@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"github.com/tiled-la/bidiag/internal/critpath"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// PipelineCP quantifies the payoff of fusing GE2BND and BND2BD into one
+// task graph (internal/pipeline): for a grid of shapes it reports the
+// critical path of each stage built separately, their sum — the lower
+// bound of any staged execution, which additionally serializes the
+// stages behind a barrier — and the measured critical path of the fused
+// DAG, in modeled flops. The gain column is the fraction of the staged
+// sum the fusion removes. It is strictly positive for every shape —
+// the head of the chase hides under stage 1 — but bounded by the chase
+// prefix ahead of the band end, since every sweep drains off the band
+// end and stage 1 finalizes that corner last (see
+// critpath.MeasurePipeline); the fusion's larger win is the removed
+// barrier and band round-trip, which are throughput effects outside a
+// critical-path table.
+func PipelineCP(sc Scale) *Table {
+	type shape struct{ m, n, nb, window int }
+	shapes := []shape{
+		{1024, 1024, 64, 0}, {2048, 2048, 64, 0}, {1024, 1024, 128, 0},
+		{4096, 1024, 64, 0}, {2048, 512, 64, 0}, {1024, 1024, 64, 32},
+	}
+	if sc.Small {
+		shapes = []shape{{256, 256, 32, 0}, {512, 128, 32, 0}, {256, 256, 32, 48}}
+	}
+	t := &Table{
+		Name:    "pipeline-cp",
+		Caption: "Fused GE2BND+BND2BD critical path vs the per-stage sum (modeled flops; gain = 1 − fused/sum)",
+		Header:  []string{"m", "n", "nb", "window", "tree", "cp(GE2BND)", "cp(BND2BD)", "sum", "cp(fused)", "gain%"},
+	}
+	for _, s := range shapes {
+		for _, tr := range []trees.Kind{trees.FlatTS, trees.Greedy} {
+			fused, s1, s2 := critpath.MeasurePipeline(tr, s.m, s.n, s.nb, s.window)
+			t.Rows = append(t.Rows, []string{
+				f0(float64(s.m)), f0(float64(s.n)), f0(float64(s.nb)), f0(float64(s.window)), tr.String(),
+				f0(s1), f0(s2), f0(s1 + s2), f0(fused),
+				f2(100 * (1 - fused/(s1+s2))),
+			})
+		}
+	}
+	return t
+}

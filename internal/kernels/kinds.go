@@ -29,13 +29,19 @@ const (
 	// data-size dependent, so each task carries its own modeled weight and
 	// the table entry is 0.
 	BRDSEGKind
+	// BANDCPKind drains the band region of a finished stage-1 tile into
+	// the working storage of the second stage (the cross-stage adapter of
+	// the fused pipeline, internal/pipeline). Like LACPY it moves data
+	// without flops and carries zero critical-path weight, so fusing the
+	// stages never lengthens the modeled critical path by itself.
+	BANDCPKind
 	numKinds
 )
 
 var kindNames = [...]string{
 	"GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR",
 	"GELQT", "UNMLQ", "TSLQT", "TSMLQ", "TTLQT", "TTMLQ",
-	"LACPY", "LASET", "BRDSEG",
+	"LACPY", "LASET", "BRDSEG", "BANDCP",
 }
 
 func (k Kind) String() string {
@@ -49,7 +55,7 @@ func (k Kind) String() string {
 var tableI = [numKinds]float64{
 	GEQRTKind: 4, UNMQRKind: 6, TSQRTKind: 6, TSMQRKind: 12, TTQRTKind: 2, TTMQRKind: 6,
 	GELQTKind: 4, UNMLQKind: 6, TSLQTKind: 6, TSMLQKind: 12, TTLQTKind: 2, TTMLQKind: 6,
-	LACPYKind: 0, LASETKind: 0, BRDSEGKind: 0,
+	LACPYKind: 0, LASETKind: 0, BRDSEGKind: 0, BANDCPKind: 0,
 }
 
 // Weight returns the Table I critical-path weight of kernel k, in units of

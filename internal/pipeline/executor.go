@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/sched"
+)
+
+// Executor runs a task graph to completion. The three implementations —
+// Sequential, Pool, OwnerCompute — are the only engine dispatch in the
+// library: every public entry point builds a Plan and hands it to one of
+// these through Run.
+type Executor interface {
+	// Name identifies the engine in reports and traces.
+	Name() string
+	// Execute runs the whole graph and reports on the execution. The
+	// floating-point result must be bitwise-identical to Sequential.
+	Execute(g *sched.Graph) (*Report, error)
+}
+
+// Report summarizes one plan execution.
+type Report struct {
+	// Executor is the engine that ran.
+	Executor string
+	// Tasks is the number of tasks executed.
+	Tasks int
+	// Dist carries the measured communication statistics of an
+	// OwnerCompute run (nil otherwise), plus the grid that ran.
+	Dist               *dist.Result
+	GridRows, GridCols int
+}
+
+// Sequential executes tasks in submission order: the numerical reference
+// every parallel engine is compared against.
+type Sequential struct{}
+
+// Name implements Executor.
+func (Sequential) Name() string { return "sequential" }
+
+// Execute implements Executor.
+func (Sequential) Execute(g *sched.Graph) (*Report, error) {
+	g.RunSequential()
+	return &Report{Executor: "sequential", Tasks: len(g.Tasks)}, nil
+}
+
+// Pool executes the graph on the shared-memory worker pool with
+// bottom-level priority scheduling. Workers ≤ 1 degenerates to the
+// sequential order (same result either way).
+type Pool struct {
+	Workers int
+}
+
+// Name implements Executor.
+func (p Pool) Name() string { return "pool" }
+
+// Execute implements Executor.
+func (p Pool) Execute(g *sched.Graph) (*Report, error) {
+	if p.Workers > 1 {
+		g.RunParallel(p.Workers)
+	} else {
+		g.RunSequential()
+	}
+	return &Report{Executor: "pool", Tasks: len(g.Tasks)}, nil
+}
+
+// OwnerCompute executes the graph on a grid of in-process
+// distributed-memory nodes: every task runs on the node owning its
+// output tile and cross-node data dependencies travel as explicit
+// messages (dist.Execute).
+type OwnerCompute struct {
+	Grid           dist.Grid
+	WorkersPerNode int
+	// Transport overrides the in-process channel transport (nil selects
+	// dist.NewChanTransport).
+	Transport dist.Transport
+}
+
+// Name implements Executor.
+func (OwnerCompute) Name() string { return "owner-compute" }
+
+// Execute implements Executor.
+func (d OwnerCompute) Execute(g *sched.Graph) (*Report, error) {
+	res, err := dist.Execute(g, dist.Options{Grid: d.Grid, WorkersPerNode: d.WorkersPerNode, Transport: d.Transport})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Executor: "owner-compute",
+		Tasks:    res.TasksRun,
+		Dist:     res,
+		GridRows: d.Grid.R,
+		GridCols: d.Grid.C,
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/jacobi"
 	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/tile"
@@ -27,7 +28,7 @@ func buildGE2BND(src *nla.Matrix, nb int, grid dist.Grid, wpn int, useR bool) (*
 	work := tile.FromDense(src, nb)
 	g := sched.NewGraph()
 	if useR {
-		_, r := core.BuildRBidiag(g, sh, work, cfg)
+		_, r, _ := core.BuildRBidiag(g, sh, work, cfg)
 		return g, r
 	}
 	core.BuildBidiag(g, sh, work, cfg)
@@ -219,6 +220,108 @@ func TestSingularValuesParityAcrossBND2BD(t *testing.T) {
 						workers, mode, i, got[i], ref[i])
 				}
 			}
+		}
+	}
+}
+
+// TestFusedPipelineParityFuzz pins the tentpole property of the fused
+// pipeline through the public API: emitting the BND2BD chase segments
+// into the same task graph as the GE2BND kernels (Options.Fused) must
+// give BITWISE-identical singular values to the staged reference, across
+// ragged shapes × worker counts × trees × wavefront windows. The staged
+// run forces the sequential BND2BD oracle, so the comparison crosses
+// both the fusion seam and the stage-2 decomposition.
+func TestFusedPipelineParityFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		m, n, nb int
+		alg      Algorithm
+	}{
+		{97, 67, 32, Bidiag},   // ragged both dimensions
+		{130, 70, 32, RBidiag}, // ragged + R-bidiagonalization
+		{96, 96, 32, Bidiag},   // exact tiling, square
+		{100, 100, 48, Bidiag}, // ragged square
+		{60, 110, 32, RBidiag}, // wide: transpose + RBidiag composition
+		{121, 40, 48, AutoAlgorithm},
+	}
+	trees := []Tree{FlatTS, FlatTT, Greedy}
+	workerCounts := []int{1, 2, 5}
+	windows := []int{0, 17, 64}
+
+	for ci, tc := range cases {
+		tree := trees[ci%len(trees)]
+		name := fmt.Sprintf("%dx%d/nb=%d/%v/%v", tc.m, tc.n, tc.nb, tc.alg, tree)
+		t.Run(name, func(t *testing.T) {
+			a := NewDense(tc.m, tc.n)
+			for j := 0; j < tc.n; j++ {
+				for i := 0; i < tc.m; i++ {
+					a.Set(i, j, rng.NormFloat64())
+				}
+			}
+			ref, err := SingularValues(a, &Options{
+				NB: tc.nb, Tree: tree, Algorithm: tc.alg, Workers: 1, BND2BD: BND2BDSequential,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts {
+				for _, window := range windows {
+					got, err := SingularValues(a, &Options{
+						NB: tc.nb, Tree: tree, Algorithm: tc.alg, Workers: workers,
+						Fused: true, BND2BDWindow: window,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d window=%d: %v", workers, window, err)
+					}
+					for i := range ref {
+						if got[i] != ref[i] {
+							t.Fatalf("workers=%d window=%d: singular value %d differs bitwise: %v != %v",
+								workers, window, i, got[i], ref[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedPipelineParityDistributed extends the fused parity to the
+// owner-compute executor: the same fused graph, distributed over a node
+// grid, must agree with the shared-memory staged reference to rounding
+// (the hierarchical trees are a different elimination order, so — as for
+// staged distributed runs — the comparison is on singular values, not
+// bits) and must be bitwise-reproducible across repetitions.
+func TestFusedPipelineParityDistributed(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const m, n, nb = 120, 84, 32
+	a := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	ref, err := SingularValues(a, &Options{NB: nb, Workers: 1, BND2BD: BND2BDSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dopts := func() *Options {
+		return &Options{NB: nb, Fused: true,
+			Distributed: &DistOptions{Nodes: 4, WorkersPerNode: 2}}
+	}
+	got, err := SingularValues(a, dopts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := jacobi.MaxRelDiff(got, ref); diff > 1e-12 {
+		t.Fatalf("fused distributed singular values off by %g", diff)
+	}
+	again, err := SingularValues(a, dopts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("fused distributed run not deterministic at value %d", i)
 		}
 	}
 }

@@ -1,10 +1,9 @@
 package bidiag
 
 import (
-	"errors"
-
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/pipeline"
 )
 
 // SVDResult holds a thin singular value decomposition A ≈ U·diag(S)·Vᵀ.
@@ -33,31 +32,26 @@ type SVDResult struct {
 //
 // The decomposition requires a numerically full-rank A for the U columns
 // associated with the smallest singular values to be reliable.
+// Options.Fused is ignored here: there is no BND2BD stage to fuse.
 func SVD(a *Dense, o *Options) (*SVDResult, error) {
-	opts := o.withDefaults()
-	treeKind, err := opts.Tree.kind()
+	opts, src, treeKind, transposed, err := prepare(a, o)
 	if err != nil {
 		return nil, err
-	}
-	src := a.inner
-	transposed := false
-	if src.Rows < src.Cols {
-		src = src.Transpose()
-		transposed = true
-	}
-	m, n := src.Rows, src.Cols
-	if m == 0 || n == 0 {
-		return nil, errors.New("bidiag: empty matrix")
 	}
 
 	rec := &core.Recorder{}
-	result, _, _, ds, err := buildAndRun(src, opts, treeKind, rec)
+	plan, ex, err := buildPlan(src, opts, treeKind, rec, false)
 	if err != nil {
 		return nil, err
 	}
+	rep, err := pipeline.Run(plan, ex)
+	if err != nil {
+		return nil, err
+	}
+	ds := distStatsOf(rep)
 
 	// Dense SVD of the small band factor.
-	bandDense := result.ExtractBand(result.NB).ToDense()
+	bandDense := plan.Tiles.ExtractBand(plan.Tiles.NB).ToDense()
 	ub, s, vb := jacobi.SVD(bandDense)
 
 	// Map the band vectors back through the recorded reflectors:

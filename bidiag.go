@@ -50,9 +50,26 @@
 // and their singular values agree with the shared-memory path to
 // rounding. (The band factor itself may differ in signs: the distributed
 // trees are a different, equally valid, elimination order.)
+//
+// For serving many concurrent reductions, Service multiplexes jobs over
+// ONE shared elastic worker pool with bounded admission, gang batching
+// of small matrices, a content-addressed result cache, per-job
+// cancellation and panic isolation (see NewService and the README
+// "Serving" section); cmd/bidiagd exposes it over HTTP. The one-shot
+// entry points gain context-aware variants (SingularValuesCtx, SVDCtx)
+// that stop scheduling and return ctx.Err() on cancellation.
+//
+// Concurrency contract: every exported function and type in this
+// package is safe for concurrent use, with two caveats. A Dense must
+// not be mutated while a call or service job is reading it, and values
+// returned from a Service may be cache-shared between callers — treat
+// results as immutable. Kernel panics never take down the process: they
+// surface as errors from the call (or job) that owns them, naming the
+// kernel kind.
 package bidiag
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -340,12 +357,19 @@ func (b *Band) At(i, j int) float64 { return b.b.At(i, j) }
 // unless the producing Options forced the sequential reference; either
 // way the outcome is bitwise-identical.
 func (b *Band) SingularValues() ([]float64, error) {
+	return b.singularValuesCtx(context.Background())
+}
+
+func (b *Band) singularValuesCtx(ctx context.Context) ([]float64, error) {
 	var r *band.Matrix
 	if b.bnd2bd == BND2BDSequential {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r = band.Reduce(b.b)
 	} else {
 		p := pipeline.BuildBND2BD(b.b, b.window)
-		if _, err := pipeline.Run(p, pipeline.Pool{Workers: max(b.workers, 1)}); err != nil {
+		if _, err := pipeline.RunCtx(ctx, p, pipeline.Pool{Workers: max(b.workers, 1)}); err != nil {
 			return nil, err
 		}
 		r = p.Bidiagonal()
@@ -436,44 +460,50 @@ func prepare(a *Dense, o *Options) (opts Options, src *nla.Matrix, treeKind tree
 	return opts, src, treeKind, transposed, nil
 }
 
+// buildSpec resolves opts into the shared-memory pipeline Spec — the
+// geometry, tiled data, tree configuration and fusion choice of one
+// reduction. The service layer reuses it to pack several jobs into one
+// gang graph (via Spec.Graph), which is why it is separate from
+// executor selection.
+func buildSpec(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.Recorder, fuse bool) pipeline.Spec {
+	m, n := src.Rows, src.Cols
+	useR := opts.Algorithm == RBidiag ||
+		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
+	blocking := nla.Blocking(opts.Gemm)
+	if rec != nil {
+		rec.Blocking = blocking
+	}
+	return pipeline.Spec{
+		Shape:   core.ShapeOf(m, n, opts.NB),
+		Data:    tile.FromDense(src, opts.NB),
+		Config:  core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec, Blocking: blocking},
+		RBidiag: useR,
+		Fused:   fuse,
+		Window:  opts.BND2BDWindow,
+	}
+}
+
 // buildPlan resolves opts into a pipeline Plan and the Executor that
 // will run it — the single place engine selection happens. With fuse the
 // plan carries the BND2BD stage in the same graph (SingularValues'
 // fused path); the shape and engine logic are identical either way.
 func buildPlan(src *nla.Matrix, opts Options, treeKind trees.Kind, rec *core.Recorder, fuse bool) (*pipeline.Plan, pipeline.Executor, error) {
-	m, n := src.Rows, src.Cols
-	useR := opts.Algorithm == RBidiag ||
-		(opts.Algorithm == AutoAlgorithm && 3*m >= 5*n)
-
-	sh := core.ShapeOf(m, n, opts.NB)
-	blocking := nla.Blocking(opts.Gemm)
-	if rec != nil {
-		rec.Blocking = blocking
-	}
-	cfg := core.Config{Tree: treeKind, Gamma: opts.Gamma, Cores: opts.Workers, Recorder: rec, Blocking: blocking}
+	spec := buildSpec(src, opts, treeKind, rec, fuse)
 	var ex pipeline.Executor = pipeline.Pool{Workers: opts.Workers}
 	if d := opts.Distributed; d != nil {
-		grid, wpn, err := distPlan(d, opts, m, n)
+		grid, wpn, err := distPlan(d, opts, src.Rows, src.Cols)
 		if err != nil {
 			return nil, nil, err
 		}
-		tc := dist.AutoDefaults(sh, grid, wpn)
+		tc := dist.AutoDefaults(spec.Shape, grid, wpn)
 		tc.Gamma = opts.Gamma
-		cfg = tc.Configure()
+		cfg := tc.Configure()
 		cfg.Recorder = rec
-		cfg.Blocking = blocking
+		cfg.Blocking = nla.Blocking(opts.Gemm)
+		spec.Config = cfg
 		ex = pipeline.OwnerCompute{Grid: grid, WorkersPerNode: wpn}
 	}
-
-	plan := pipeline.Build(pipeline.Spec{
-		Shape:   sh,
-		Data:    tile.FromDense(src, opts.NB),
-		Config:  cfg,
-		RBidiag: useR,
-		Fused:   fuse,
-		Window:  opts.BND2BDWindow,
-	})
-	return plan, ex, nil
+	return pipeline.Build(spec), ex, nil
 }
 
 // distStatsOf converts an executor report's distributed statistics into
@@ -501,6 +531,14 @@ func distStatsOf(rep *pipeline.Report) *DistStats {
 // run staged with a barrier in between; the two paths are
 // bitwise-identical.
 func SingularValues(a *Dense, o *Options) ([]float64, error) {
+	return SingularValuesCtx(context.Background(), a, o)
+}
+
+// SingularValuesCtx is SingularValues under a context: a cancelled ctx
+// stops scheduling new kernel tasks promptly (in-flight tiles finish)
+// and returns ctx.Err(). Distributed runs honor cancellation at
+// admission only.
+func SingularValuesCtx(ctx context.Context, a *Dense, o *Options) ([]float64, error) {
 	opts, src, treeKind, _, err := prepare(a, o)
 	if err != nil {
 		return nil, err
@@ -510,7 +548,7 @@ func SingularValues(a *Dense, o *Options) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := pipeline.Run(plan, ex); err != nil {
+	if _, err := pipeline.RunCtx(ctx, plan, ex); err != nil {
 		return nil, err
 	}
 	if !fuse {
@@ -522,7 +560,7 @@ func SingularValues(a *Dense, o *Options) ([]float64, error) {
 			bnd2bd:  opts.BND2BD,
 			window:  opts.BND2BDWindow,
 		}
-		return b.SingularValues()
+		return b.singularValuesCtx(ctx)
 	}
 	d, e := plan.Bidiagonal().Bidiagonal()
 	return bdsqr.SingularValues(d, e)

@@ -27,8 +27,19 @@ type record struct {
 	NB          int     `json:"nb"`
 	KU          int     `json:"ku"`
 	Workers     int     `json:"workers"`
+	Jobs        int     `json:"jobs"`
 	WallSeconds float64 `json:"wall_seconds"`
 	GFlops      float64 `json:"gflops"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+}
+
+// rate returns the record's guarded figure: throughput records (batch
+// runs) track jobs/s, compute records GFLOP/s.
+func (r record) rate() (float64, string) {
+	if r.JobsPerSec > 0 {
+		return r.JobsPerSec, "jobs/s"
+	}
+	return r.GFlops, "GFLOP/s"
 }
 
 func load(path string) (record, error) {
@@ -40,8 +51,8 @@ func load(path string) (record, error) {
 	if err := json.Unmarshal(blob, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.GFlops <= 0 {
-		return r, fmt.Errorf("%s: missing or non-positive gflops", path)
+	if r.GFlops <= 0 && r.JobsPerSec <= 0 {
+		return r, fmt.Errorf("%s: missing or non-positive gflops / jobs_per_sec", path)
 	}
 	return r, nil
 }
@@ -66,16 +77,19 @@ func main() {
 		os.Exit(2)
 	}
 	if ref.Experiment != got.Experiment || ref.M != got.M || ref.N != got.N ||
-		ref.NB != got.NB || ref.KU != got.KU || ref.Workers != got.Workers {
+		ref.NB != got.NB || ref.KU != got.KU || ref.Workers != got.Workers ||
+		ref.Jobs != got.Jobs {
 		fmt.Fprintf(os.Stderr, "benchguard: configurations differ: ref %+v vs new %+v\n", ref, got)
 		os.Exit(2)
 	}
-	ratio := got.GFlops / ref.GFlops
-	fmt.Printf("%s %dx%d: %.2f GFLOP/s vs reference %.2f (%.0f%%)\n",
-		ref.Experiment, ref.M, ref.N, got.GFlops, ref.GFlops, 100*ratio)
+	refRate, unit := ref.rate()
+	gotRate, _ := got.rate()
+	ratio := gotRate / refRate
+	fmt.Printf("%s %dx%d: %.2f %s vs reference %.2f (%.0f%%)\n",
+		ref.Experiment, ref.M, ref.N, gotRate, unit, refRate, 100*ratio)
 	if ratio < 1-*tol {
-		fmt.Fprintf(os.Stderr, "benchguard: GFLOP/s regressed %.0f%% (> %.0f%% allowed)\n",
-			100*(1-ratio), 100**tol)
+		fmt.Fprintf(os.Stderr, "benchguard: %s regressed %.0f%% (> %.0f%% allowed)\n",
+			unit, 100*(1-ratio), 100**tol)
 		os.Exit(1)
 	}
 }

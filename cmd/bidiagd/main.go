@@ -1,0 +1,93 @@
+// Command bidiagd serves singular value decompositions over HTTP: many
+// concurrent jobs multiplexed on one shared elastic worker pool
+// (bidiag.Service), with gang batching of small matrices, a
+// content-addressed result cache, bounded admission and per-request
+// cancellation.
+//
+// Endpoints:
+//
+//	POST /v1/svd               {"m":3,"n":2,"data":[...col-major...],"options":{"nb":64}}
+//	POST /v1/singular-values   same request; values-only response
+//	GET  /healthz              liveness + uptime
+//	GET  /metrics              expvar: queue depth, jobs/s, p50/p99 latency,
+//	                           cache hit rate, gang batching counters
+//
+// Overload is surfaced as HTTP 429 (the admission queue is bounded);
+// clients that disconnect cancel their job mid-graph. A kernel panic
+// fails only the offending request.
+//
+//	bidiagd -addr :8097 -workers 8 -cache-mb 128
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/tiled-la/bidiag"
+)
+
+func main() {
+	addr := flag.String("addr", ":8097", "listen address")
+	workers := flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0: default 256)")
+	inflight := flag.Int("inflight", 0, "max concurrently executing jobs (0: default)")
+	cacheMB := flag.Int("cache-mb", 0, "result cache budget in MiB (0: default 64, negative: disable)")
+	gangDim := flag.Int("gang-dim", 0, "gang-batch matrices up to this dimension (0: default 256, negative: disable)")
+	gangSize := flag.Int("gang-size", 0, "max jobs per gang graph (0: default 16)")
+	gangWait := flag.Duration("gang-wait", 0, "how long a forming gang waits for stragglers (0: default 2ms)")
+	maxBodyMB := flag.Int64("max-body-mb", 0, "largest accepted request body in MiB (0: default 32)")
+	flag.Parse()
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB < 0 {
+		cacheBytes = -1
+	}
+	svc := bidiag.NewService(&bidiag.ServiceConfig{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxInFlight: *inflight,
+		CacheBytes:  cacheBytes,
+		GangDim:     *gangDim,
+		GangSize:    *gangSize,
+		GangWait:    *gangWait,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc, time.Now(), *maxBodyMB<<20),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bounds a slow-body client; responses (and job execution) are
+		// not under this clock, only reading the request.
+		ReadTimeout: 2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("bidiagd listening on %s (workers=%d)", *addr, svc.Stats().Workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s; shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

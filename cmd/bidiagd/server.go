@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tiled-la/bidiag"
+)
+
+// matrixJSON is the wire form of a dense matrix: column-major data, so
+// data[i + j*m] is element (i, j).
+type matrixJSON struct {
+	M    int       `json:"m"`
+	N    int       `json:"n"`
+	Data []float64 `json:"data"`
+}
+
+// optionsJSON is the wire subset of bidiag.Options a job may set. The
+// service runs shared-memory only, so there is no distributed knob.
+type optionsJSON struct {
+	NB        int    `json:"nb,omitempty"`
+	Tree      string `json:"tree,omitempty"`      // auto | flatts | flattt | greedy
+	Algorithm string `json:"algorithm,omitempty"` // auto | bidiag | rbidiag
+	Workers   int    `json:"workers,omitempty"`
+	Gamma     int    `json:"gamma,omitempty"`
+	BND2BD    string `json:"bnd2bd,omitempty"` // auto | pipelined | sequential
+	Window    int    `json:"window,omitempty"`
+}
+
+type jobJSON struct {
+	matrixJSON
+	Options optionsJSON `json:"options"`
+}
+
+type valuesResponse struct {
+	S        []float64 `json:"s"`
+	CacheHit bool      `json:"cache_hit"`
+	Ms       float64   `json:"ms"`
+}
+
+type svdResponse struct {
+	U        matrixJSON `json:"u"`
+	S        []float64  `json:"s"`
+	V        matrixJSON `json:"v"`
+	CacheHit bool       `json:"cache_hit"`
+	Ms       float64    `json:"ms"`
+}
+
+func (o optionsJSON) toOptions() (*bidiag.Options, error) {
+	opts := &bidiag.Options{NB: o.NB, Workers: o.Workers, Gamma: o.Gamma, BND2BDWindow: o.Window}
+	switch strings.ToLower(o.Tree) {
+	case "", "auto":
+		opts.Tree = bidiag.Auto
+	case "flatts":
+		opts.Tree = bidiag.FlatTS
+	case "flattt":
+		opts.Tree = bidiag.FlatTT
+	case "greedy":
+		opts.Tree = bidiag.Greedy
+	default:
+		return nil, fmt.Errorf("unknown tree %q", o.Tree)
+	}
+	switch strings.ToLower(o.Algorithm) {
+	case "", "auto":
+		opts.Algorithm = bidiag.AutoAlgorithm
+	case "bidiag":
+		opts.Algorithm = bidiag.Bidiag
+	case "rbidiag":
+		opts.Algorithm = bidiag.RBidiag
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", o.Algorithm)
+	}
+	switch strings.ToLower(o.BND2BD) {
+	case "", "auto":
+		opts.BND2BD = bidiag.BND2BDAuto
+	case "pipelined":
+		opts.BND2BD = bidiag.BND2BDPipelined
+	case "sequential":
+		opts.BND2BD = bidiag.BND2BDSequential
+	default:
+		return nil, fmt.Errorf("unknown bnd2bd %q", o.BND2BD)
+	}
+	return opts, nil
+}
+
+func (m matrixJSON) toDense() (*bidiag.Dense, error) {
+	if m.M <= 0 || m.N <= 0 {
+		return nil, fmt.Errorf("invalid shape %dx%d", m.M, m.N)
+	}
+	if len(m.Data) != m.M*m.N {
+		return nil, fmt.Errorf("shape %dx%d needs %d elements, got %d", m.M, m.N, m.M*m.N, len(m.Data))
+	}
+	return bidiag.NewDenseFromColMajor(m.M, m.N, m.Data)
+}
+
+func denseJSON(d *bidiag.Dense) matrixJSON {
+	m, n := d.Rows(), d.Cols()
+	data := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			data[i+j*m] = d.At(i, j)
+		}
+	}
+	return matrixJSON{M: m, N: n, Data: data}
+}
+
+// server is the daemon's HTTP surface over one bidiag.Service.
+type server struct {
+	svc   *bidiag.Service
+	start time.Time
+	// maxBody bounds a request body in bytes: admission queues bound how
+	// many jobs wait, this bounds how big one job may be — without it a
+	// single oversized POST could exhaust memory before backpressure
+	// ever fires.
+	maxBody int64
+}
+
+// defaultMaxBody admits matrices up to roughly 1500² in JSON form.
+const defaultMaxBody = 32 << 20
+
+// expvar owns a process-global registry, so the "bidiagd" var is
+// published once and reads whichever server installed itself last (only
+// relevant to tests; the daemon has exactly one).
+var (
+	metricsOnce   sync.Once
+	metricsSource atomic.Pointer[server]
+)
+
+// newMux wires the daemon's routes and installs the expvar metrics.
+// maxBody ≤ 0 selects defaultMaxBody.
+func newMux(svc *bidiag.Service, start time.Time, maxBody int64) *http.ServeMux {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	s := &server{svc: svc, start: start, maxBody: maxBody}
+	metricsSource.Store(s)
+	metricsOnce.Do(func() {
+		expvar.Publish("bidiagd", expvar.Func(func() any {
+			return metricsSource.Load().snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/singular-values", s.handleSingularValues)
+	mux.HandleFunc("POST /v1/svd", s.handleSVD)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", expvar.Handler())
+	return mux
+}
+
+// snapshot assembles the /metrics figure: service counters plus the
+// derived rates the dashboards want.
+func (s *server) snapshot() map[string]any {
+	st := s.svc.Stats()
+	up := time.Since(s.start).Seconds()
+	hitRate := 0.0
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		hitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	jobsPerSec := 0.0
+	if up > 0 {
+		jobsPerSec = float64(st.JobsDone) / up
+	}
+	return map[string]any{
+		"uptime_seconds":   up,
+		"workers":          st.Workers,
+		"inflight":         st.InFlight,
+		"queue_depth":      st.QueueLen + st.GangQueueLen,
+		"solo_queue_depth": st.QueueLen,
+		"gang_queue_depth": st.GangQueueLen,
+		// Total admission capacity: each of the two queues is bounded by
+		// QueueDepth, and queue_depth above sums both.
+		"queue_capacity":  2 * st.QueueCap,
+		"jobs_done":       st.JobsDone,
+		"jobs_failed":     st.JobsFailed,
+		"jobs_cancelled":  st.JobsCancelled,
+		"jobs_per_second": jobsPerSec,
+		"latency_p50_ms":  float64(st.P50) / float64(time.Millisecond),
+		"latency_p99_ms":  float64(st.P99) / float64(time.Millisecond),
+		"gang_batches":    st.GangBatches,
+		"gang_jobs":       st.GangJobs,
+		"cache_hits":      st.CacheHits,
+		"cache_misses":    st.CacheMisses,
+		"cache_hit_rate":  hitRate,
+		"cache_entries":   st.CacheEntries,
+		"cache_bytes":     st.CacheBytes,
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.svc.Stats().Workers,
+	})
+}
+
+func (s *server) handleSingularValues(w http.ResponseWriter, r *http.Request) {
+	s.handleJob(w, r, bidiag.JobSingularValues)
+}
+
+func (s *server) handleSVD(w http.ResponseWriter, r *http.Request) {
+	s.handleJob(w, r, bidiag.JobSVD)
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.JobKind) {
+	var req jobJSON
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes (-max-body-mb raises the cap)", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	a, err := req.toDense()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	begin := time.Now()
+	res, err := s.svc.Do(r.Context(), bidiag.JobRequest{Kind: kind, A: a, Opts: opts})
+	if err != nil {
+		switch {
+		case errors.Is(err, bidiag.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, bidiag.ErrServiceClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case r.Context().Err() != nil:
+			// The client went away; nothing useful to write.
+			log.Printf("job cancelled: %v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	ms := float64(time.Since(begin)) / float64(time.Millisecond)
+	if kind == bidiag.JobSVD {
+		writeJSON(w, http.StatusOK, svdResponse{
+			U: denseJSON(res.SVD.U), S: res.SVD.S, V: denseJSON(res.SVD.V),
+			CacheHit: res.CacheHit, Ms: ms,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, valuesResponse{S: res.Values, CacheHit: res.CacheHit, Ms: ms})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *bidiag.Service) {
+	t.Helper()
+	svc := bidiag.NewService(&bidiag.ServiceConfig{Workers: 2})
+	ts := httptest.NewServer(newMux(svc, time.Now(), 0))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts, svc
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// diag212 is the 3x2 matrix with diagonal (1, 2): singular values 2, 1.
+var diag212 = matrixJSON{M: 3, N: 2, Data: []float64{1, 0, 0, 0, 2, 0}}
+
+func TestSingularValuesEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out valuesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
+		t.Fatalf("s = %v, want [2 1]", out.S)
+	}
+
+	// The same request again is a cache hit.
+	resp2 := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
+	defer resp2.Body.Close()
+	var out2 valuesResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit {
+		t.Fatal("repeat request should hit the cache")
+	}
+}
+
+func TestSVDEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/svd", jobJSON{matrixJSON: diag212})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out svdResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
+		t.Fatalf("s = %v, want [2 1]", out.S)
+	}
+	if out.U.M != 3 || out.U.N != 2 || out.V.M != 2 || out.V.N != 2 {
+		t.Fatalf("vector shapes: U %dx%d, V %dx%d", out.U.M, out.U.N, out.V.M, out.V.N)
+	}
+	// Reconstruct A = U diag(S) Vᵀ and compare.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			acc := 0.0
+			for k := 0; k < 2; k++ {
+				acc += out.U.Data[i+k*3] * out.S[k] * out.V.Data[j+k*2]
+			}
+			want := diag212.Data[i+j*3]
+			if math.Abs(acc-want) > 1e-12 {
+				t.Fatalf("reconstruction (%d,%d) = %v, want %v", i, j, acc, want)
+			}
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, tc := range []struct {
+		name string
+		body any
+	}{
+		{"short data", matrixJSON{M: 4, N: 4, Data: []float64{1}}},
+		{"zero shape", matrixJSON{M: 0, N: 3}},
+		{"bad tree", jobJSON{matrixJSON: diag212, Options: optionsJSON{Tree: "bogus"}}},
+		{"bad bnd2bd", jobJSON{matrixJSON: diag212, Options: optionsJSON{BND2BD: "bogus"}}},
+	} {
+		resp := post(t, ts.URL+"/v1/singular-values", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/svd", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := vars["bidiagd"]
+	if !ok {
+		t.Fatalf("metrics lack the bidiagd var: have %d vars", len(vars))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["jobs_done"].(float64) < 1 {
+		t.Fatalf("metrics: %v", m)
+	}
+	for _, key := range []string{"queue_depth", "jobs_per_second", "latency_p50_ms", "latency_p99_ms", "cache_hit_rate"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, m)
+		}
+	}
+}
+
+// TestBodyTooLarge pins the request-size bound: a body over the cap gets
+// 413, not an allocation.
+func TestBodyTooLarge(t *testing.T) {
+	svc := bidiag.NewService(&bidiag.ServiceConfig{Workers: 1})
+	ts := httptest.NewServer(newMux(svc, time.Now(), 1<<10)) // 1 KiB cap
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+
+	big := jobJSON{matrixJSON: matrixJSON{M: 32, N: 32, Data: make([]float64, 1024)}}
+	resp := post(t, ts.URL+"/v1/singular-values", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// A small request still works on the same server.
+	resp = post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after 413: status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/svd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/svd: status %d, want 405", resp.StatusCode)
+	}
+}

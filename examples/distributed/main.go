@@ -89,7 +89,9 @@ func main() {
 	ref := sched.NewGraph()
 	refData := tile.FromDense(a, enb)
 	core.BuildBidiag(ref, esh, refData, etc.Configure())
-	ref.RunSequential()
+	if err := ref.RunSequential(); err != nil {
+		panic(err)
+	}
 
 	g := sched.NewGraph()
 	data := tile.FromDense(a, enb)

@@ -287,16 +287,21 @@ func buildSegments(g *sched.Graph, w *work, window int, handles []*sched.Handle)
 // workers (window ≤ 0 selects DefaultWindow). The result is
 // bitwise-identical to Reduce for every input — the graph's dependences
 // order all conflicting rotations exactly as the sequential sweeps do —
-// so either implementation can serve as the other's oracle.
-func ReduceParallel(b *Matrix, workers, window int) *Matrix {
+// so either implementation can serve as the other's oracle. A recovered
+// kernel panic is returned as the error; the partial band is not.
+func ReduceParallel(b *Matrix, workers, window int) (*Matrix, error) {
 	g := sched.NewGraph()
 	finish := BuildReduceGraph(g, b, window)
+	var err error
 	if workers > 1 {
-		g.RunParallel(workers)
+		err = g.RunParallel(workers)
 	} else {
-		g.RunSequential()
+		err = g.RunSequential()
 	}
-	return finish()
+	if err != nil {
+		return nil, err
+	}
+	return finish(), nil
 }
 
 // ModelFlops returns the modeled flop count of reducing an n×n band with

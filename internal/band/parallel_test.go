@@ -46,7 +46,10 @@ func TestReduceParallelMatchesSequential(t *testing.T) {
 		for _, workers := range []int{1, 2, 3, 8} {
 			for _, window := range []int{0, 7, 16, 64} {
 				b := randomBand(int64(100+tc.n), tc.n, tc.ku)
-				got := ReduceParallel(b, workers, window)
+				got, err := ReduceParallel(b, workers, window)
+				if err != nil {
+					t.Fatal(err)
+				}
 				diffBidiagonal(t,
 					fmt.Sprintf("n=%d ku=%d workers=%d window=%d", tc.n, tc.ku, workers, window),
 					want, got)
@@ -56,8 +59,9 @@ func TestReduceParallelMatchesSequential(t *testing.T) {
 }
 
 func TestReduceParallelEmpty(t *testing.T) {
-	if r := ReduceParallel(New(0, 0), 4, 0); r.N != 0 {
-		t.Fatalf("empty input")
+	r, err := ReduceParallel(New(0, 0), 4, 0)
+	if err != nil || r.N != 0 {
+		t.Fatalf("empty input: %v %v", r, err)
 	}
 }
 
@@ -71,7 +75,10 @@ func TestReduceParallelParityFuzz(t *testing.T) {
 		workers := 1 + rng.Intn(8)
 		b := randomBand(seed, n, ku)
 		want := Reduce(b)
-		got := ReduceParallel(b, workers, window)
+		got, err := ReduceParallel(b, workers, window)
+		if err != nil {
+			return false
+		}
 		dw, ew := want.Bidiagonal()
 		dg, eg := got.Bidiagonal()
 		for i := range dw {

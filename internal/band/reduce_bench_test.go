@@ -28,7 +28,9 @@ func BenchmarkBND2BD(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ReduceParallel(src, workers, 0)
+				if _, err := ReduceParallel(src, workers, 0); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(flops/1e9/b.Elapsed().Seconds()*float64(b.N), "GFlop/s")
 		})
@@ -52,7 +54,9 @@ func BenchmarkReduceSegments(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ReduceParallel(src, 4, 0)
+			if _, err := ReduceParallel(src, 4, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 		b.ReportMetric(flops/1e9/b.Elapsed().Seconds()*float64(b.N), "GFlop/s")
 	})

@@ -73,7 +73,7 @@ func (r *Recorder) newStage(sh Shape) *RecStage {
 // n×n where n is the column count of the first-stage matrix; the result
 // has the row count of the first stage (the original m). workers selects
 // the executor parallelism.
-func (r *Recorder) ApplyLeftAll(ub *nla.Matrix, workers int) *nla.Matrix {
+func (r *Recorder) ApplyLeftAll(ub *nla.Matrix, workers int) (*nla.Matrix, error) {
 	// Later stages act on smaller (R-factor) spaces: apply them first,
 	// then embed into the preceding stage's row space.
 	cur := ub
@@ -84,15 +84,17 @@ func (r *Recorder) ApplyLeftAll(ub *nla.Matrix, workers int) *nla.Matrix {
 		dense := c.ToDense()
 		nla.CopyInto(dense.View(0, 0, cur.Rows, cur.Cols), cur)
 		c = tile.FromDense(dense, st.Sh.NB)
-		st.applyLeft(c, workers, r.Blocking)
+		if err := st.applyLeft(c, workers, r.Blocking); err != nil {
+			return nil, err
+		}
 		cur = c.ToDense()
 	}
-	return cur
+	return cur, nil
 }
 
 // ApplyRightAll computes vbt·F_Lᵀ···F_1ᵀ across all stages; vbt is
 // k×n with n the column count of the last stage's matrix.
-func (r *Recorder) ApplyRightAll(vbt *nla.Matrix, workers int) *nla.Matrix {
+func (r *Recorder) ApplyRightAll(vbt *nla.Matrix, workers int) (*nla.Matrix, error) {
 	// Right transforms act on the column space, which every stage shares
 	// (the R copy keeps the full column count), so stages chain directly
 	// in reverse.
@@ -103,15 +105,17 @@ func (r *Recorder) ApplyRightAll(vbt *nla.Matrix, workers int) *nla.Matrix {
 			continue
 		}
 		c := tile.FromDense(cur, st.Sh.NB)
-		st.applyRight(c, workers, r.Blocking)
+		if err := st.applyRight(c, workers, r.Blocking); err != nil {
+			return nil, err
+		}
 		cur = c.ToDense()
 	}
-	return cur
+	return cur, nil
 }
 
 // applyLeft applies the stage's left product (no-trans, reverse order) to
 // the tiled matrix c, whose row tiling must match the stage shape.
-func (st *RecStage) applyLeft(c *tile.Matrix, workers int, bl nla.Blocking) {
+func (st *RecStage) applyLeft(c *tile.Matrix, workers int, bl nla.Blocking) error {
 	g := sched.NewGraph()
 	g.Blocking = bl
 	handles := make([]*sched.Handle, c.P*c.Q)
@@ -150,12 +154,12 @@ func (st *RecStage) applyLeft(c *tile.Matrix, workers int, bl nla.Blocking) {
 			}
 		}
 	}
-	runGraph(g, workers)
+	return runGraph(g, workers)
 }
 
 // applyRight applies the stage's right product (no-trans, reverse order)
 // to the tiled matrix c, whose column tiling must match the stage shape.
-func (st *RecStage) applyRight(c *tile.Matrix, workers int, bl nla.Blocking) {
+func (st *RecStage) applyRight(c *tile.Matrix, workers int, bl nla.Blocking) error {
 	g := sched.NewGraph()
 	g.Blocking = bl
 	handles := make([]*sched.Handle, c.P*c.Q)
@@ -194,13 +198,12 @@ func (st *RecStage) applyRight(c *tile.Matrix, workers int, bl nla.Blocking) {
 			}
 		}
 	}
-	runGraph(g, workers)
+	return runGraph(g, workers)
 }
 
-func runGraph(g *sched.Graph, workers int) {
+func runGraph(g *sched.Graph, workers int) error {
 	if workers > 1 {
-		g.RunParallel(workers)
-	} else {
-		g.RunSequential()
+		return g.RunParallel(workers)
 	}
+	return g.RunSequential()
 }

@@ -30,10 +30,16 @@ func reconstructViaRecorder(t *testing.T, m, n, nb int, tr trees.Kind, rbidiag b
 
 	// B (band, n×n logical) = Qᵀ A P ⇒ A = Q·[B;0]·Pᵀ.
 	band := result.ExtractBand(result.NB).ToDense()
-	left := rec.ApplyLeftAll(band, 4) // Q·[B; 0]  (m×n)
+	left, err := rec.ApplyLeftAll(band, 4) // Q·[B; 0]  (m×n)
+	if err != nil {
+		panic(err)
+	}
 	// Apply Pᵀ from the right: recon = left·Pᵀ = (ApplyRightAll(leftᵀ?)…)
 	// ApplyRightAll computes X·F_Lᵀ···F_1ᵀ = X·Pᵀ for any X with n columns.
-	recon = rec.ApplyRightAll(left, 4)
+	recon, err = rec.ApplyRightAll(left, 4)
+	if err != nil {
+		panic(err)
+	}
 	return orig, recon
 }
 
@@ -94,7 +100,10 @@ func TestRecorderOrthogonality(t *testing.T) {
 	g := sched.NewGraph()
 	BuildBidiag(g, ShapeOf(m, n, nb), d, Config{Tree: trees.Greedy, Recorder: rec})
 	g.RunSequential()
-	q := rec.ApplyLeftAll(nla.Identity(n), 1) // thin Q: m×n
+	q, err := rec.ApplyLeftAll(nla.Identity(n), 1) // thin Q: m×n
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e := nla.OrthogonalityError(q); e > 1e-13 {
 		t.Fatalf("thin Q not orthonormal: %g", e)
 	}

@@ -228,8 +228,12 @@ func (e *engine) worker(nd *execNode, wg *sync.WaitGroup) {
 		nd.mu.Unlock()
 
 		begin := time.Now()
-		if t.Run != nil {
-			t.Run(ws)
+		if err := t.RunSafe(ws); err != nil {
+			// A panicking kernel strands every consumer of its output;
+			// release the workers and surface the error from Execute
+			// instead of killing the process.
+			e.fail(fmt.Errorf("dist: node %d: %w", nd.id, err))
+			return
 		}
 		d := time.Since(begin)
 		nd.mu.Lock()

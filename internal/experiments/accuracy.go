@@ -59,13 +59,15 @@ func Accuracy(sc Scale) *Table {
 		} else {
 			core.BuildBidiag(g, sh, work, cfg)
 		}
-		g.RunParallel(4)
-		reduced := band.Reduce(result.ExtractBand(result.NB))
-		d, e := reduced.Bidiagonal()
-		got, err := bdsqr.SingularValues(d, e)
+		err := g.RunParallel(4)
 		relErr := "FAILED"
 		if err == nil {
-			relErr = fmt.Sprintf("%.2e", jacobi.MaxRelDiff(got, sigma))
+			reduced := band.Reduce(result.ExtractBand(result.NB))
+			d, e := reduced.Bidiagonal()
+			var got []float64
+			if got, err = bdsqr.SingularValues(d, e); err == nil {
+				relErr = fmt.Sprintf("%.2e", jacobi.MaxRelDiff(got, sigma))
+			}
 		}
 		t.Rows = append(t.Rows, []string{
 			f0(float64(c.m)), f0(float64(c.n)), f0(float64(c.nb)),

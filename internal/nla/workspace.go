@@ -62,6 +62,16 @@ func (w *Workspace) Cap() int { return len(w.buf) }
 // pre-sized workspace after warm-up).
 func (w *Workspace) Grows() int { return w.grows }
 
+// EnsureCap grows the arena to at least elems float64s, keeping it
+// otherwise untouched. Shared-pool workers call it between tasks from
+// differently sized graphs — it must not be called while checkouts are
+// outstanding. Deliberate elastic resizing is not counted by Grows.
+func (w *Workspace) EnsureCap(elems int) {
+	if elems > len(w.buf) {
+		w.buf = make([]float64, elems)
+	}
+}
+
 // ScratchVec checks out an uninitialized length-n slice.
 func (w *Workspace) ScratchVec(n int) []float64 {
 	if w.off+n > len(w.buf) {

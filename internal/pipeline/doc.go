@@ -26,13 +26,23 @@
 // An Executor is anything that can run a sched.Graph to completion:
 //
 //	Sequential    submission order, the numerical reference;
-//	Pool          the shared-memory worker pool (sched.RunParallel);
+//	Pool          a private shared-memory worker pool (sched.RunParallel);
+//	Shared        one job among many on a process-wide sched.Runtime —
+//	              the serving engine behind internal/serve;
 //	OwnerCompute  the distributed owner-compute engine (dist.Execute)
 //	              over a block-cyclic node grid.
 //
 // Every executor yields bitwise-identical results on the same Plan: all
 // conflicting accesses are ordered by graph edges, so each datum sees
-// the same kernel sequence under any schedule.
+// the same kernel sequence under any schedule. Execution is
+// context-aware (RunCtx) and panic-safe: a cancelled context stops
+// dispatch and returns ctx.Err(); a panicking kernel surfaces as an
+// error naming the kernel kind instead of killing the process.
+//
+// Building several independent Specs into ONE graph (Spec.Graph) forms
+// a gang: dependence inference keeps the members independent, so their
+// kernels interleave on the shared wavefront — how the serving layer
+// batches many small reductions.
 //
 // # Fused versus staged
 //

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"github.com/tiled-la/bidiag/internal/band"
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/kernels"
@@ -13,6 +15,12 @@ import (
 // band.DefaultWindow; Data may be nil for simulation-only builds (the
 // graph then carries weights and dependences but no kernels).
 type Spec struct {
+	// Graph, when non-nil, receives the plan's tasks instead of a fresh
+	// graph. Several independent plans built into ONE graph execute as a
+	// gang: their tasks interleave on the same wavefront, which is how
+	// the serving layer batches many small reductions (the plans touch
+	// disjoint handles, so dependence inference keeps them independent).
+	Graph *sched.Graph
 	// Shape is the input's tile geometry (M ≥ N; callers transpose first).
 	Shape core.Shape
 	// Data is the tiled input, consumed in place; nil builds the DAG for
@@ -41,7 +49,8 @@ type Stage struct {
 type Plan struct {
 	Graph *sched.Graph
 	// Stages lists the logical stages in submission order; their task
-	// counts sum to len(Graph.Tasks).
+	// counts sum to the number of tasks this plan added to Graph (all of
+	// them, unless the plan was built into a shared gang graph).
 	Stages []Stage
 	// Tiles is the tile matrix holding the stage-1 band-bidiagonal result
 	// (the square R-factor matrix under R-BIDIAG); nil in simulation-only
@@ -60,7 +69,11 @@ type Plan struct {
 // segments, all in one sched.Graph so dependence inference spans the
 // stage boundary.
 func Build(spec Spec) *Plan {
-	g := sched.NewGraph()
+	g := spec.Graph
+	if g == nil {
+		g = sched.NewGraph()
+	}
+	mark0 := len(g.Tasks)
 	rsh := spec.Shape
 	data := spec.Data
 	var tap *core.BandTap
@@ -70,7 +83,7 @@ func Build(spec Spec) *Plan {
 		tap = core.BuildBidiag(g, spec.Shape, spec.Data, spec.Config)
 	}
 	p := &Plan{Graph: g, Tiles: data, Shape: rsh, UsedRBidiag: spec.RBidiag}
-	p.Stages = append(p.Stages, Stage{Name: "GE2BND", Tasks: len(g.Tasks)})
+	p.Stages = append(p.Stages, Stage{Name: "GE2BND", Tasks: len(g.Tasks) - mark0})
 	if !spec.Fused {
 		return p
 	}
@@ -102,9 +115,21 @@ func BuildBND2BD(b *band.Matrix, window int) *Plan {
 }
 
 // Run executes the plan's graph on the given executor and returns its
-// report. The numerical outcome is independent of the executor.
+// report. The numerical outcome is independent of the executor. A
+// kernel panic during execution is recovered and returned as an error
+// naming the kernel kind.
 func Run(p *Plan, ex Executor) (*Report, error) {
-	return ex.Execute(p.Graph)
+	return RunCtx(context.Background(), p, ex)
+}
+
+// RunCtx is Run under a context: a cancelled ctx stops the execution
+// (promptly on the shared-memory engines, at admission on the
+// distributed engine) and returns ctx.Err().
+func RunCtx(ctx context.Context, p *Plan, ex Executor) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ex.Execute(ctx, p.Graph)
 }
 
 // Bidiagonal returns the reduced bidiagonal matrix of a fused or

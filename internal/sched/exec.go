@@ -2,19 +2,51 @@ package sched
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"sync"
+
+	"github.com/tiled-la/bidiag/internal/nla"
 )
+
+// RunSafe executes the task's kernel on the given workspace, converting a
+// kernel panic into an error naming the kernel kind. Every executor —
+// sequential, pool, shared runtime, owner-compute — runs tasks through it,
+// so one bad tile fails its own graph instead of the whole process.
+func (t *Task) RunSafe(ws *nla.Workspace) (err error) {
+	if t.Run == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: %s kernel %s panicked: %v", t.Kind, t.Name(), r)
+		}
+	}()
+	t.Run(ws)
+	return nil
+}
 
 // RunSequential executes every task in submission order, which is a valid
 // schedule by construction. It is the numerical reference all parallel
-// executions are compared against.
-func (g *Graph) RunSequential() {
+// executions are compared against. A panicking kernel is recovered and
+// returned as an error; the remaining tasks do not run.
+func (g *Graph) RunSequential() error {
+	return g.RunSequentialCtx(context.Background())
+}
+
+// RunSequentialCtx is RunSequential under a context: when ctx is cancelled
+// no further tasks start and ctx.Err() is returned.
+func (g *Graph) RunSequentialCtx(ctx context.Context) error {
 	ws := g.NewWorkspace()
 	for _, t := range g.Tasks {
-		if t.Run != nil {
-			t.Run(ws)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := t.RunSafe(ws); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // RunParallel executes the graph on a pool of `workers` goroutines,
@@ -23,9 +55,25 @@ func (g *Graph) RunSequential() {
 // the floating-point result is identical to RunSequential: every pair of
 // conflicting accesses to a handle is ordered by an edge, so each datum
 // sees the same sequence of kernels regardless of the schedule.
-func (g *Graph) RunParallel(workers int) {
+//
+// A panicking kernel fails the run — dispatch stops, in-flight tasks
+// finish, and the first panic is returned as an error — instead of
+// killing the process.
+func (g *Graph) RunParallel(workers int) error {
+	return g.RunParallelCtx(context.Background(), workers)
+}
+
+// RunParallelCtx is RunParallel under a context: when ctx is cancelled the
+// pool stops dispatching new tasks, waits for in-flight tasks to finish,
+// and returns ctx.Err().
+func (g *Graph) RunParallelCtx(ctx context.Context, workers int) error {
 	if workers < 1 {
 		workers = 1
+	}
+	// Fast path: an already-cancelled context runs nothing at all (the
+	// watcher below only guarantees promptness, not a zero-task start).
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	g.resetExecState()
 	g.ComputeBottomLevels(WeightTime)
@@ -35,13 +83,39 @@ func (g *Graph) RunParallel(workers int) {
 		cond      = sync.NewCond(&mu)
 		ready     taskHeap
 		remaining = len(g.Tasks)
+		firstErr  error
+		stopped   bool
 	)
+	// stop abandons all undispatched work, recording the first cause.
+	// Callers hold mu.
+	stop := func(err error) {
+		if !stopped {
+			stopped = true
+			firstErr = err
+			ready = ready[:0]
+			cond.Broadcast()
+		}
+	}
 	for _, t := range g.Tasks {
 		if t.npred == 0 {
 			ready = append(ready, t)
 		}
 	}
 	heap.Init(&ready)
+
+	var watchDone chan struct{}
+	if ctx.Done() != nil {
+		watchDone = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				mu.Lock()
+				stop(ctx.Err())
+				mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -54,26 +128,29 @@ func (g *Graph) RunParallel(workers int) {
 			ws := g.NewWorkspace()
 			for {
 				mu.Lock()
-				for len(ready) == 0 && remaining > 0 {
+				for len(ready) == 0 && remaining > 0 && !stopped {
 					cond.Wait()
 				}
-				if remaining == 0 {
+				if remaining == 0 || stopped {
 					mu.Unlock()
 					return
 				}
 				t := heap.Pop(&ready).(*Task)
 				mu.Unlock()
 
-				if t.Run != nil {
-					t.Run(ws)
-				}
+				err := t.RunSafe(ws)
 
 				mu.Lock()
 				remaining--
-				for _, s := range t.succs {
-					s.npred--
-					if s.npred == 0 {
-						heap.Push(&ready, s)
+				if err != nil {
+					stop(err)
+				}
+				if !stopped {
+					for _, s := range t.succs {
+						s.npred--
+						if s.npred == 0 {
+							heap.Push(&ready, s)
+						}
 					}
 				}
 				cond.Broadcast()
@@ -82,6 +159,16 @@ func (g *Graph) RunParallel(workers int) {
 		}()
 	}
 	wg.Wait()
+	// The watcher writes firstErr under mu; read it the same way. A
+	// cancellation that lands after the last task completed may be
+	// reported or not — either is a faithful outcome.
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if watchDone != nil {
+		close(watchDone)
+	}
+	return err
 }
 
 // WeightTime values a task at its Table I weight; it is the default
@@ -94,7 +181,10 @@ func FlopsTime(t *Task) float64 { return t.Flops }
 // ComputeBottomLevels assigns each task its bottom level — the length of
 // the longest downstream path including itself — under the given duration
 // function, and returns the overall maximum, i.e. the critical path of the
-// DAG on unbounded resources.
+// DAG on unbounded resources. On a banded graph (SetScheduleBands) each
+// task's priority is then raised by a per-band offset that strictly
+// dominates the bottom levels, so earlier bands outrank later ones in the
+// executors' ready queues; the returned critical path stays unbiased.
 func (g *Graph) ComputeBottomLevels(timeOf func(*Task) float64) float64 {
 	cp := 0.0
 	for i := len(g.Tasks) - 1; i >= 0; i-- {
@@ -108,6 +198,17 @@ func (g *Graph) ComputeBottomLevels(timeOf func(*Task) float64) float64 {
 		t.prio = mx + timeOf(t)
 		if t.prio > cp {
 			cp = t.prio
+		}
+	}
+	if len(g.bandMarks) > 1 {
+		span := cp + 1
+		band, next := 0, g.bandMarks[0]
+		for i, t := range g.Tasks {
+			for i >= next {
+				band++
+				next = g.bandMarks[band]
+			}
+			t.prio += float64(len(g.bandMarks)-1-band) * span
 		}
 	}
 	return cp

@@ -99,6 +99,30 @@ type Graph struct {
 	// Blocking is the GEMM cache blocking the workers' workspaces use.
 	// The zero value selects nla.DefaultBlocking.
 	Blocking nla.Blocking
+
+	// bandMarks are the end-task-index of each schedule band (see
+	// SetScheduleBands); empty means one band, i.e. plain bottom-level
+	// scheduling.
+	bandMarks []int
+}
+
+// SetScheduleBands partitions the graph's tasks — in submission order —
+// into priority bands at the given end indices (the last mark must equal
+// the task count). Every task in an earlier band outranks every task in
+// a later band for the executors' ready-queue ordering; bottom level
+// still orders within a band.
+//
+// Gang graphs use this to make workers drain members in order: one
+// worker finishes member k before touching member k+1 (sequential-like
+// cache locality), while additional workers spill into younger members
+// whenever an elder has no ready task (the interleaving that fills a
+// multicore wavefront). Dependence-driven correctness is unaffected —
+// bands only reorder the ready queue.
+func (g *Graph) SetScheduleBands(marks []int) {
+	if len(marks) > 0 && marks[len(marks)-1] != len(g.Tasks) {
+		panic("sched: last schedule band must end at the task count")
+	}
+	g.bandMarks = append([]int(nil), marks...)
 }
 
 // NewGraph returns an empty task graph.

@@ -1,0 +1,407 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// seqGraph builds a chain of n tasks through one handle; each task
+// appends its index to out (guarded by mu), so execution order within the
+// job is observable.
+func seqGraph(n int, mu *sync.Mutex, out *[]int) *Graph {
+	g := NewGraph()
+	h := g.NewHandle(8, 0)
+	for i := 0; i < n; i++ {
+		i := i
+		g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+			mu.Lock()
+			*out = append(*out, i)
+			mu.Unlock()
+		}, RW(h))
+	}
+	return g
+}
+
+func TestRuntimeManyGraphsInterleave(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+
+	const jobs, chain = 12, 20
+	var mu sync.Mutex
+	traces := make([][]int, jobs)
+	handles := make([]*JobHandle, jobs)
+	for j := 0; j < jobs; j++ {
+		g := seqGraph(chain, &mu, &traces[j])
+		h, err := rt.Submit(context.Background(), g, JobOptions{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", j, err)
+		}
+		handles[j] = h
+	}
+	for j, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+	}
+	for j, tr := range traces {
+		if len(tr) != chain {
+			t.Fatalf("job %d ran %d tasks, want %d", j, len(tr), chain)
+		}
+		for i, v := range tr {
+			if v != i {
+				t.Fatalf("job %d: chain order violated at %d: %v", j, i, tr)
+			}
+		}
+	}
+	if n := rt.InFlight(); n != 0 {
+		t.Fatalf("in-flight after drain = %d, want 0", n)
+	}
+}
+
+func TestRuntimePanicIsolation(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Close()
+
+	bad := NewGraph()
+	h := bad.NewHandle(8, 0)
+	bad.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {}, RW(h))
+	bad.AddTask(kernels.TSQRTKind, 0, 1, 1, func(*nla.Workspace) {
+		panic("singular tile")
+	}, RW(h))
+	ran := false
+	bad.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) { ran = true }, RW(h))
+
+	var mu sync.Mutex
+	var goodTrace []int
+	good := seqGraph(10, &mu, &goodTrace)
+
+	hb, err := rt.Submit(context.Background(), bad, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := rt.Submit(context.Background(), good, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hg.Wait(); err != nil {
+		t.Fatalf("healthy job failed: %v", err)
+	}
+	err = hb.Wait()
+	if err == nil {
+		t.Fatal("panicking job reported success")
+	}
+	if !strings.Contains(err.Error(), "TSQRT") || !strings.Contains(err.Error(), "singular tile") {
+		t.Fatalf("panic error should name the kernel kind and cause, got %v", err)
+	}
+	if ran {
+		t.Fatal("task downstream of the panic ran")
+	}
+	if len(goodTrace) != 10 {
+		t.Fatalf("healthy job ran %d tasks, want 10", len(goodTrace))
+	}
+
+	// The runtime survives: a fresh job still executes.
+	var after []int
+	ha, err := rt.Submit(context.Background(), seqGraph(3, &mu, &after), JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.Wait(); err != nil || len(after) != 3 {
+		t.Fatalf("post-panic job: err=%v ran=%d", err, len(after))
+	}
+}
+
+// gatedGraph builds gate → chain: the first task blocks until release is
+// closed, so a test can cancel mid-graph deterministically.
+func gatedGraph(n int, release chan struct{}, executed *atomic.Int32) *Graph {
+	g := NewGraph()
+	h := g.NewHandle(8, 0)
+	g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+		<-release
+		executed.Add(1)
+	}, RW(h))
+	for i := 1; i < n; i++ {
+		g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+			executed.Add(1)
+		}, RW(h))
+	}
+	return g
+}
+
+func TestRuntimeCancelMidGraph(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Close()
+
+	release := make(chan struct{})
+	var executed atomic.Int32
+	g := gatedGraph(50, release, &executed)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := rt.Submit(ctx, g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for !h.Stopped() { // wait until the cancellation is observed …
+		runtime.Gosched()
+	}
+	close(release) // … then let the in-flight gate task finish
+	err = h.Wait() // must return promptly with ctx.Err()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= 50 {
+		t.Fatalf("cancelled job executed all %d tasks", n)
+	}
+	if n := rt.InFlight(); n != 0 {
+		t.Fatalf("in-flight after cancel = %d, want 0", n)
+	}
+}
+
+func TestRuntimeSubmitCancelledCtx(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int32
+	g := NewGraph()
+	hd := g.NewHandle(8, 0)
+	g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) { executed.Add(1) }, RW(hd))
+	h, err := rt.Submit(ctx, g, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if executed.Load() != 0 {
+		t.Fatal("task ran despite pre-cancelled context")
+	}
+}
+
+func TestRuntimeCloseThenSubmit(t *testing.T) {
+	rt := NewRuntime(2)
+	var mu sync.Mutex
+	var tr []int
+	h, err := rt.Submit(context.Background(), seqGraph(5, &mu, &tr), JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if _, err := rt.Submit(context.Background(), seqGraph(1, &mu, &tr), JobOptions{}); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrRuntimeClosed", err)
+	}
+}
+
+// TestRuntimeNoGoroutineLeak submits, cancels and completes jobs, closes
+// the pool, and checks the goroutine count returns to its baseline — the
+// acceptance check that cancellation does not leak workers.
+func TestRuntimeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rt := NewRuntime(4)
+	var mu sync.Mutex
+	traces := make([][]int, 8)
+	for j := range traces {
+		h, err := rt.Submit(context.Background(), seqGraph(10, &mu, &traces[j]), JobOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := make(chan struct{})
+	var executed atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := rt.Submit(ctx, gatedGraph(20, release, &executed), JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for !h.Stopped() {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v", err)
+	}
+	rt.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRuntimeEmptyGraph(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Close()
+	h, err := rt.Submit(context.Background(), NewGraph(), JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeWeightedFairShare checks that under a saturated single
+// worker, a weight-4 job gets about four pickups per pickup of a weight-1
+// job while both are in flight.
+func TestRuntimeWeightedFairShare(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Close()
+
+	// Gate both jobs behind a barrier task so both are in flight before
+	// any chain work is picked.
+	var order []string
+	var mu sync.Mutex
+	mk := func(name string, n int) *Graph {
+		g := NewGraph()
+		h := g.NewHandle(8, 0)
+		for i := 0; i < n; i++ {
+			g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+			}, RW(h))
+		}
+		return g
+	}
+	// Stall the worker so both submissions land before execution starts.
+	gate := make(chan struct{})
+	stall := NewGraph()
+	sh := stall.NewHandle(8, 0)
+	stall.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) { <-gate }, RW(sh))
+	hs, err := rt.Submit(context.Background(), stall, JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := rt.Submit(context.Background(), mk("heavy", 40), JobOptions{Weight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := rt.Submit(context.Background(), mk("light", 40), JobOptions{Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := hs.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := heavy.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := light.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// While both jobs were live (the first 50 pickups cover at least the
+	// window where neither has drained), heavy should lead light roughly
+	// 4:1. Count the first 20 pickups: expect ≥ 12 heavy.
+	nh := 0
+	for _, s := range order[:20] {
+		if s == "heavy" {
+			nh++
+		}
+	}
+	if nh < 12 {
+		t.Fatalf("weight-4 job got %d of the first 20 pickups (want ≥ 12): %v", nh, order[:20])
+	}
+}
+
+func TestRunSequentialPanicRecovered(t *testing.T) {
+	g := NewGraph()
+	h := g.NewHandle(8, 0)
+	g.AddTask(kernels.UNMQRKind, 0, 1, 1, func(*nla.Workspace) { panic("boom") }, RW(h))
+	err := g.RunSequential()
+	if err == nil || !strings.Contains(err.Error(), "UNMQR") {
+		t.Fatalf("RunSequential = %v, want error naming the kernel", err)
+	}
+}
+
+func TestRunParallelPanicRecovered(t *testing.T) {
+	g := NewGraph()
+	var ran atomic.Int32
+	for i := 0; i < 32; i++ {
+		h := g.NewHandle(8, 0)
+		i := i
+		g.AddTask(kernels.UNMQRKind, 0, 1, 1, func(*nla.Workspace) {
+			if i == 7 {
+				panic(fmt.Sprintf("tile %d", i))
+			}
+			ran.Add(1)
+		}, RW(h))
+	}
+	err := g.RunParallel(4)
+	if err == nil || !strings.Contains(err.Error(), "UNMQR") {
+		t.Fatalf("RunParallel = %v, want error naming the kernel", err)
+	}
+	// The graph stays executable afterwards (reset works) — and the panic
+	// deterministically recurs.
+	if err := g.RunParallel(2); err == nil {
+		t.Fatal("second run should fail again")
+	}
+}
+
+func TestRunParallelCtxCancel(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var executed atomic.Int32
+	g := NewGraph()
+	h := g.NewHandle(8, 0)
+	g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+		close(started)
+		<-release
+		executed.Add(1)
+	}, RW(h))
+	for i := 1; i < 100; i++ {
+		g.AddTask(kernels.GEQRTKind, 0, 1, 1, func(*nla.Workspace) {
+			executed.Add(1)
+		}, RW(h))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.RunParallelCtx(ctx, 2) }()
+	<-started // the gate task is in flight; nothing else can progress
+	cancel()
+	// Give the cancellation watcher ample time to clear the ready queue
+	// while the gate task still blocks all progress, then release it.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunParallelCtx = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= 100 {
+		t.Fatalf("cancelled run executed all %d tasks", n)
+	}
+}
+
+func TestRunSequentialCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := chainGraph(3)
+	if err := g.RunSequentialCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSequentialCtx = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a byte-budgeted LRU of finished job results, keyed by the
+// request's content-addressed Key.
+type cache struct {
+	mu    sync.Mutex
+	cap   int64 // byte budget; ≤ 0 disables the cache
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	v     any
+	bytes int64
+}
+
+func newCache(capBytes int64) *cache {
+	return &cache{cap: capBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *cache) get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// add inserts a result of the given byte footprint, evicting
+// least-recently-used entries past the budget. Values larger than the
+// whole budget are not stored.
+func (c *cache) add(key string, v any, bytes int64) {
+	if c.cap <= 0 || bytes <= 0 || bytes > c.cap || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Same key means same content-addressed computation; keep the
+		// existing value, just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, v: v, bytes: bytes})
+	c.items[key] = el
+	c.bytes += bytes
+	for c.bytes > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.bytes -= ent.bytes
+	}
+}
+
+// stats returns the entry count, resident bytes and budget.
+func (c *cache) stats() (entries int, bytes, capacity int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.bytes, c.cap
+}

@@ -1,0 +1,76 @@
+// Package serve turns the one-shot reduction library into a concurrent
+// job service: many in-flight SVD/singular-value jobs of mixed shapes
+// multiplexed over ONE process-wide worker pool, with admission control,
+// cancellation, panic isolation, gang batching and a result cache. It is
+// the engine behind the public bidiag.Service and the bidiagd daemon.
+//
+// # Architecture
+//
+//	Submit ──► admission queue ──► dispatcher ──► sched.Runtime (shared pool)
+//	   │            (bounded)          │                │
+//	   │                               │                └─ tasks of ALL jobs
+//	   │        gang queue ──► collector ─ one fused       interleave on the
+//	   │         (small jobs)      graph per batch          same workers
+//	   └─ cache hit: immediate result
+//
+// The package is deliberately generic: a Request carries a Build closure
+// that emits the job's task graph (the caller decides what a "job" is —
+// the public API builds pipeline plans) and a finish closure run after a
+// successful execution to extract the result. serve itself knows only
+// about graphs, which is what lets gang batching pack several jobs into
+// one graph (Build appending into a shared *sched.Graph).
+//
+// # Shared elastic runtime
+//
+// Every job executes on one process-wide sched.Runtime instead of a
+// private pool per call: each graph is admitted as a runtime job with its
+// own ready heap, workers pick across jobs by weighted fair share, and
+// per-worker scratch arenas grow to the largest requirement among the
+// jobs they serve. Many small task graphs keep the machine saturated
+// where a single graph's critical path cannot — the multi-DAG regime the
+// tiled-algorithms literature (Bouwmeester, arXiv:1303.3182) argues these
+// runtimes were designed for.
+//
+// # Backpressure and admission
+//
+// The admission queues are bounded (Config.QueueDepth). A full queue
+// fails Submit immediately with ErrOverloaded — callers (the daemon maps
+// it to HTTP 429) shed load at the edge instead of queueing without
+// bound. At most Config.MaxInFlight graphs execute concurrently; queued
+// jobs wait their turn in FIFO order.
+//
+// # Cancellation
+//
+// Every job carries the context passed to Submit. A cancelled job fails
+// promptly with ctx.Err() whether it is still queued or mid-graph (the
+// runtime stops dispatching its tasks; in-flight tiles finish). One
+// exception: a gang member that is cancelled after its batch launched
+// keeps computing with the batch — only its result is discarded.
+//
+// # Panic isolation
+//
+// Kernel panics are recovered by the runtime and surfaced as job errors
+// naming the kernel kind; the process, the pool and every other job keep
+// running. When a gang graph fails, its members are retried solo so only
+// the job owning the bad tile fails.
+//
+// # Gang batching
+//
+// Requests marked Gang (the public layer flags small matrices) are
+// collected for up to Config.GangWait and packed — up to Config.GangSize
+// at a time — into ONE task graph via their Build closures. The members'
+// handles are disjoint, so dependence inference keeps them independent:
+// tile kernels from different jobs interleave on the shared wavefront,
+// hiding each member's serial tail under its neighbours' work. Gang
+// throughput (jobs/s) beats submitting the same jobs one call at a time
+// on the same pool precisely because the pool never drains between jobs.
+//
+// # Result cache
+//
+// Jobs with a non-empty Key publish their result in a content-addressed
+// LRU cache with a byte budget (Config.CacheBytes). The public layer
+// derives keys from a digest of the matrix bytes plus every
+// result-affecting Options field, so a hit is exact — same input, same
+// options — never approximate. Cached values are shared across requests
+// and must be treated as immutable by callers.
+package serve

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding window of recent job latencies the p50/p99
+// figures are computed over.
+const latWindow = 512
+
+// metrics aggregates the service counters. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsDone, jobsFailed, jobsCancelled uint64
+	gangBatches, gangJobs               uint64
+	cacheHits, cacheMisses              uint64
+	inflight                            int
+
+	lat  [latWindow]time.Duration
+	nLat int // total recorded; lat[i % latWindow] is a ring
+}
+
+func (m *metrics) recordDone(d time.Duration) {
+	m.mu.Lock()
+	m.jobsDone++
+	m.lat[m.nLat%latWindow] = d
+	m.nLat++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordFail(err error) {
+	m.mu.Lock()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		m.jobsCancelled++
+	} else {
+		m.jobsFailed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordGang(members int) {
+	m.mu.Lock()
+	m.gangBatches++
+	m.gangJobs += uint64(members)
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) recordMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+func (m *metrics) enter() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
+func (m *metrics) exit()  { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
+
+// quantiles returns the p50 and p99 latency over the window.
+func (m *metrics) quantiles() (p50, p99 time.Duration) {
+	m.mu.Lock()
+	n := m.nLat
+	if n > latWindow {
+		n = latWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, m.lat[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n-1)*50/100], buf[(n-1)*99/100]
+}
+
+// Stats is a point-in-time snapshot of the service, the figure exported
+// by the daemon's /metrics endpoint.
+type Stats struct {
+	// Workers is the shared pool size; InFlight counts jobs currently
+	// executing (admitted to the runtime or finishing).
+	Workers, InFlight int
+	// QueueLen and GangQueueLen are the instantaneous admission-queue
+	// depths; QueueCap is each queue's bound.
+	QueueLen, GangQueueLen, QueueCap int
+
+	JobsDone, JobsFailed, JobsCancelled uint64
+	// GangBatches counts executed gang graphs; GangJobs the member jobs
+	// they carried.
+	GangBatches, GangJobs  uint64
+	CacheHits, CacheMisses uint64
+	CacheEntries           int
+	CacheBytes, CacheCap   int64
+
+	// P50 and P99 are job latencies (enqueue to completion, cache hits
+	// included) over the last 512 finished jobs.
+	P50, P99 time.Duration
+}

@@ -1,0 +1,391 @@
+package bidiag
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/band"
+	"github.com/tiled-la/bidiag/internal/bdsqr"
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/pipeline"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/serve"
+)
+
+// ErrOverloaded is returned by Service.Submit when the admission queue
+// is full; callers should shed load or retry with backoff.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrServiceClosed is returned by Service.Submit after Close.
+var ErrServiceClosed = serve.ErrClosed
+
+// ServiceConfig sizes a Service. The zero value (or a nil pointer)
+// selects the defaults.
+type ServiceConfig struct {
+	// Workers is the shared pool size (default GOMAXPROCS): ONE pool
+	// executes every in-flight job, workers picking across jobs by
+	// weighted fair share.
+	Workers int
+	// QueueDepth bounds the admission queues, beyond which Submit fails
+	// fast with ErrOverloaded (default 256).
+	QueueDepth int
+	// MaxInFlight caps concurrently executing jobs (default
+	// max(2, Workers)); queued jobs beyond it wait their turn.
+	MaxInFlight int
+	// CacheBytes budgets the content-addressed result cache: 0 selects
+	// 64 MiB, negative disables caching.
+	CacheBytes int64
+	// GangDim is the largest dimension (max of rows, cols) below which a
+	// job is gang-batched: packed with its neighbours into one task
+	// graph so tile kernels from different jobs interleave on the same
+	// wavefront. 0 selects 256; negative disables gang batching.
+	GangDim int
+	// GangSize caps the jobs packed into one gang graph (default 16);
+	// GangWait is how long a forming gang waits for stragglers
+	// (default 2ms).
+	GangSize int
+	GangWait time.Duration
+}
+
+// ServiceStats is a point-in-time snapshot of a Service, mirroring what
+// the bidiagd daemon exports at /metrics.
+type ServiceStats struct {
+	Workers, InFlight                   int
+	QueueLen, GangQueueLen, QueueCap    int
+	JobsDone, JobsFailed, JobsCancelled uint64
+	GangBatches, GangJobs               uint64
+	CacheHits, CacheMisses              uint64
+	CacheEntries                        int
+	CacheBytes, CacheCap                int64
+	// P50 and P99 are job latencies (enqueue to completion, cache hits
+	// included) over the last 512 finished jobs.
+	P50, P99 time.Duration
+}
+
+// JobKind selects what a service job computes.
+type JobKind int
+
+const (
+	// JobSingularValues computes the singular values (SingularValues).
+	JobSingularValues JobKind = iota
+	// JobSVD computes the thin SVD with singular vectors (SVD).
+	JobSVD
+)
+
+// JobRequest describes one matrix job submitted to a Service.
+type JobRequest struct {
+	Kind JobKind
+	// A is the input matrix. It must not be modified until the job
+	// finishes (the tiling snapshot is taken when the job is dispatched,
+	// not at Submit).
+	A *Dense
+	// Opts configures the reduction exactly as for the one-shot entry
+	// points, with two differences: Options.Distributed must be nil
+	// (service jobs run on the shared in-process pool), and
+	// Options.Workers does NOT size a pool — the service's shared
+	// workers do — but still parameterizes the AUTO tree and the
+	// reflector application of JobSVD, so it remains part of the result's
+	// cache identity. All other fields (NB, Tree, Algorithm, Gamma,
+	// Gemm, BND2BD, BND2BDWindow) are honored per job; Fused is ignored
+	// (the service fuses whenever BND2BD allows it — the fused and
+	// staged paths are bitwise-identical).
+	Opts *Options
+}
+
+// JobResult is a finished service job. Results may be served from the
+// result cache and shared between callers: treat them as immutable.
+type JobResult struct {
+	// Values holds the singular values in descending order (both kinds).
+	Values []float64
+	// SVD carries the full decomposition for JobSVD (nil otherwise).
+	SVD *SVDResult
+	// CacheHit reports that the result came from the cache.
+	CacheHit bool
+}
+
+// Job is an in-flight service job.
+type Job struct {
+	inner *serve.Job
+}
+
+// Wait blocks until the job finishes.
+func (j *Job) Wait() (*JobResult, error) {
+	res, err := j.inner.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return toJobResult(res)
+}
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.inner.Done() }
+
+// Service executes many concurrent reduction jobs over one shared
+// elastic worker pool, with bounded admission, per-job cancellation,
+// panic isolation, gang batching of small matrices and a
+// content-addressed result cache. See the README "Serving" section for
+// the architecture; internal/serve documents the semantics in detail.
+//
+// A Service and every method on it are safe for concurrent use. The
+// one-shot entry points (SingularValues, SVD, GE2BND, …) remain safe to
+// call concurrently with each other and with a Service — they use
+// private pools — but a Service amortizes pool and workspace setup
+// across calls and keeps the machine saturated under mixed load.
+type Service struct {
+	inner   *serve.Service
+	gangDim int
+	// cacheOff skips cache-key digestion entirely when the cache budget
+	// is negative — no point hashing the matrix for a disabled cache.
+	cacheOff bool
+}
+
+// NewService starts a Service with the given configuration (nil selects
+// every default). Close releases it.
+func NewService(cfg *ServiceConfig) *Service {
+	var c ServiceConfig
+	if cfg != nil {
+		c = *cfg
+	}
+	gangDim := c.GangDim
+	if gangDim == 0 {
+		gangDim = 256
+	}
+	return &Service{
+		inner: serve.New(serve.Config{
+			Workers:     c.Workers,
+			QueueDepth:  c.QueueDepth,
+			MaxInFlight: c.MaxInFlight,
+			CacheBytes:  c.CacheBytes,
+			GangSize:    c.GangSize,
+			GangWait:    c.GangWait,
+		}),
+		gangDim:  gangDim,
+		cacheOff: c.CacheBytes < 0,
+	}
+}
+
+// Submit admits a job and returns without waiting. It fails fast with
+// ErrOverloaded when the service is saturated and ErrServiceClosed after
+// Close. Cancelling ctx fails the job promptly with ctx.Err(), whether
+// it is still queued or mid-graph (a gang member whose batch already
+// launched finishes with the batch; its result is discarded).
+func (s *Service) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	r, err := s.request(req)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.inner.Submit(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{inner: j}, nil
+}
+
+// Do is Submit followed by Wait.
+func (s *Service) Do(ctx context.Context, req JobRequest) (*JobResult, error) {
+	j, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats {
+	st := s.inner.Stats()
+	return ServiceStats{
+		Workers: st.Workers, InFlight: st.InFlight,
+		QueueLen: st.QueueLen, GangQueueLen: st.GangQueueLen, QueueCap: st.QueueCap,
+		JobsDone: st.JobsDone, JobsFailed: st.JobsFailed, JobsCancelled: st.JobsCancelled,
+		GangBatches: st.GangBatches, GangJobs: st.GangJobs,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		CacheEntries: st.CacheEntries, CacheBytes: st.CacheBytes, CacheCap: st.CacheCap,
+		P50: st.P50, P99: st.P99,
+	}
+}
+
+// Close stops admission, fails queued jobs, waits for in-flight jobs and
+// winds the shared pool down. Safe to call more than once.
+func (s *Service) Close() { s.inner.Close() }
+
+// request validates a JobRequest and lowers it to the generic serving
+// layer: a Build closure emitting the job's task graph (possibly into a
+// shared gang graph), a finish closure extracting the result, and the
+// content-addressed cache key.
+func (s *Service) request(req JobRequest) (serve.Request, error) {
+	if req.A == nil {
+		return serve.Request{}, errors.New("bidiag: service job without a matrix")
+	}
+	// Validate options eagerly so Submit fails fast, then again inside
+	// Build (prepare is cheap and keeps the closure self-contained).
+	opts, err := req.Opts.withDefaults()
+	if err != nil {
+		return serve.Request{}, err
+	}
+	if _, err := opts.Tree.kind(); err != nil {
+		return serve.Request{}, err
+	}
+	if opts.Distributed != nil {
+		return serve.Request{}, errors.New("bidiag: service jobs run on the shared in-process pool; Options.Distributed must be nil")
+	}
+	if req.A.Rows() == 0 || req.A.Cols() == 0 {
+		return serve.Request{}, errors.New("bidiag: empty matrix")
+	}
+
+	var build func(g *sched.Graph) (func() (any, error), error)
+	switch req.Kind {
+	case JobSingularValues:
+		build = buildSingularValuesJob(req.A, req.Opts)
+	case JobSVD:
+		build = buildSVDJob(req.A, req.Opts)
+	default:
+		return serve.Request{}, fmt.Errorf("bidiag: unknown job kind %d", int(req.Kind))
+	}
+	key := ""
+	if !s.cacheOff {
+		key = cacheKey(req.Kind, req.A, opts)
+	}
+	// Gang members share ONE graph, and a graph carries a single GEMM
+	// blocking (it parameterizes the workers' workspaces): only jobs on
+	// the default blocking may gang, or one member's Options.Gemm would
+	// silently apply to its batch-mates and break their bitwise identity
+	// with solo runs. Custom-blocking jobs simply run solo.
+	gang := s.gangDim > 0 && max(req.A.Rows(), req.A.Cols()) <= s.gangDim &&
+		opts.Gemm == GemmBlock{}
+	return serve.Request{
+		Build: build,
+		Key:   key,
+		Bytes: resultBytes,
+		Gang:  gang,
+	}, nil
+}
+
+// buildSingularValuesJob emits the full singular-value pipeline for one
+// job: the fused GE2BND+BND2BD graph whenever the options allow fusion
+// (bitwise-identical to the staged path), the GE2BND graph plus a
+// sequential chase otherwise, followed by the bidiagonal QR iteration in
+// finish.
+func buildSingularValuesJob(a *Dense, o *Options) func(g *sched.Graph) (func() (any, error), error) {
+	return func(g *sched.Graph) (func() (any, error), error) {
+		opts, src, treeKind, _, err := prepare(a, o)
+		if err != nil {
+			return nil, err
+		}
+		fuse := opts.BND2BD != BND2BDSequential
+		spec := buildSpec(src, opts, treeKind, nil, fuse)
+		spec.Graph = g
+		plan := pipeline.Build(spec)
+		finish := func() (any, error) {
+			var r *band.Matrix
+			if fuse {
+				r = plan.Bidiagonal()
+			} else {
+				r = band.Reduce(plan.Tiles.ExtractBand(plan.Tiles.NB))
+			}
+			d, e := r.Bidiagonal()
+			v, err := bdsqr.SingularValues(d, e)
+			if err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+		return finish, nil
+	}
+}
+
+// buildSVDJob emits the vector-bearing decomposition: the recorded
+// GE2BND graph, then — in finish — the dense band SVD and the
+// application of the recorded reflectors, exactly as SVD does.
+func buildSVDJob(a *Dense, o *Options) func(g *sched.Graph) (func() (any, error), error) {
+	return func(g *sched.Graph) (func() (any, error), error) {
+		opts, src, treeKind, transposed, err := prepare(a, o)
+		if err != nil {
+			return nil, err
+		}
+		rec := &core.Recorder{}
+		spec := buildSpec(src, opts, treeKind, rec, false)
+		spec.Graph = g
+		plan := pipeline.Build(spec)
+		finish := func() (any, error) {
+			bandDense := plan.Tiles.ExtractBand(plan.Tiles.NB).ToDense()
+			ub, sv, vb := jacobi.SVD(bandDense)
+			u, err := rec.ApplyLeftAll(ub, opts.Workers)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := rec.ApplyRightAll(vb.Transpose(), opts.Workers)
+			if err != nil {
+				return nil, err
+			}
+			v := vt.Transpose()
+			if transposed {
+				u, v = v, u
+			}
+			return &SVDResult{U: &Dense{inner: u}, S: sv, V: &Dense{inner: v}}, nil
+		}
+		return finish, nil
+	}
+}
+
+// cacheKey digests the matrix content and every result-affecting option
+// into the job's content-addressed identity. Fused is deliberately
+// absent (fused and staged are bitwise-identical); Workers is present
+// because it parameterizes the AUTO tree.
+func cacheKey(kind JobKind, a *Dense, opts Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w(uint64(kind))
+	w(uint64(a.Rows()))
+	w(uint64(a.Cols()))
+	// One hasher write per column, not per element.
+	col := make([]byte, 8*a.Rows())
+	for j := 0; j < a.Cols(); j++ {
+		for i := 0; i < a.Rows(); i++ {
+			binary.LittleEndian.PutUint64(col[8*i:], math.Float64bits(a.At(i, j)))
+		}
+		h.Write(col)
+	}
+	w(uint64(opts.NB))
+	w(uint64(opts.Tree))
+	w(uint64(opts.Algorithm))
+	w(uint64(opts.Workers))
+	w(uint64(opts.Gamma))
+	w(uint64(opts.Gemm.MC))
+	w(uint64(opts.Gemm.KC))
+	w(uint64(opts.Gemm.NC))
+	w(uint64(opts.BND2BD))
+	w(uint64(opts.BND2BDWindow))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// resultBytes accounts a finished result for the cache budget.
+func resultBytes(v any) int64 {
+	switch r := v.(type) {
+	case []float64:
+		return int64(8 * len(r))
+	case *SVDResult:
+		return int64(8 * (len(r.S) + r.U.Rows()*r.U.Cols() + r.V.Rows()*r.V.Cols()))
+	}
+	return 0
+}
+
+// toJobResult lifts a generic serve result into the typed public form.
+func toJobResult(res *serve.Result) (*JobResult, error) {
+	switch v := res.Value.(type) {
+	case []float64:
+		return &JobResult{Values: v, CacheHit: res.CacheHit}, nil
+	case *SVDResult:
+		return &JobResult{Values: v.S, SVD: v, CacheHit: res.CacheHit}, nil
+	}
+	return nil, fmt.Errorf("bidiag: unexpected service result %T", res.Value)
+}

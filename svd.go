@@ -1,6 +1,8 @@
 package bidiag
 
 import (
+	"context"
+
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/jacobi"
 	"github.com/tiled-la/bidiag/internal/pipeline"
@@ -34,6 +36,13 @@ type SVDResult struct {
 // associated with the smallest singular values to be reliable.
 // Options.Fused is ignored here: there is no BND2BD stage to fuse.
 func SVD(a *Dense, o *Options) (*SVDResult, error) {
+	return SVDCtx(context.Background(), a, o)
+}
+
+// SVDCtx is SVD under a context: a cancelled ctx stops scheduling new
+// reduction tasks promptly (in-flight tiles finish) and returns
+// ctx.Err(). Distributed runs honor cancellation at admission only.
+func SVDCtx(ctx context.Context, a *Dense, o *Options) (*SVDResult, error) {
 	opts, src, treeKind, transposed, err := prepare(a, o)
 	if err != nil {
 		return nil, err
@@ -44,11 +53,16 @@ func SVD(a *Dense, o *Options) (*SVDResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := pipeline.Run(plan, ex)
+	rep, err := pipeline.RunCtx(ctx, plan, ex)
 	if err != nil {
 		return nil, err
 	}
 	ds := distStatsOf(rep)
+	if err := ctx.Err(); err != nil {
+		// A cancellation that lands after the graph drained still spares
+		// the dense band SVD and the reflector application.
+		return nil, err
+	}
 
 	// Dense SVD of the small band factor.
 	bandDense := plan.Tiles.ExtractBand(plan.Tiles.NB).ToDense()
@@ -56,8 +70,14 @@ func SVD(a *Dense, o *Options) (*SVDResult, error) {
 
 	// Map the band vectors back through the recorded reflectors:
 	// U = E₁ᵀ···E_Kᵀ·[U_b; 0] and Vᵀ = V_bᵀ·F_Lᵀ···F₁ᵀ.
-	u := rec.ApplyLeftAll(ub, opts.Workers)
-	vt := rec.ApplyRightAll(vb.Transpose(), opts.Workers)
+	u, err := rec.ApplyLeftAll(ub, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := rec.ApplyRightAll(vb.Transpose(), opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 	v := vt.Transpose()
 
 	if transposed {

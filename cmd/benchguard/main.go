@@ -31,6 +31,13 @@ type record struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	GFlops      float64 `json:"gflops"`
 	JobsPerSec  float64 `json:"jobs_per_sec"`
+
+	// Reconcile carries the model-vs-measured telemetry bidiagbench
+	// attaches to shared-memory records. It is machine- and load-
+	// dependent diagnostic data, not a tracked figure: the guard parses
+	// it for schema forward compatibility and deliberately never
+	// compares it.
+	Reconcile json.RawMessage `json:"reconcile,omitempty"`
 }
 
 // rate returns the record's guarded figure: throughput records (batch
@@ -54,6 +61,7 @@ func load(path string) (record, error) {
 	if r.GFlops <= 0 && r.JobsPerSec <= 0 {
 		return r, fmt.Errorf("%s: missing or non-positive gflops / jobs_per_sec", path)
 	}
+	r.Reconcile = nil // parsed for forward compatibility, never compared
 	return r, nil
 }
 

@@ -16,7 +16,9 @@
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
-// critpaths, crossover, asymptotics, accuracy. With -nodes the command
+// critpaths, crossover, asymptotics, accuracy, pipeline-cp, reconcile
+// (real traced pool runs against the simulated makespan — the one
+// wall-clock experiment). With -nodes the command
 // instead runs GE2BND on that many in-process distributed-memory nodes
 // and reports the measured message count and volume next to the
 // distributed simulator's prediction for the same graph.
@@ -56,8 +58,10 @@ import (
 	"github.com/tiled-la/bidiag"
 	"github.com/tiled-la/bidiag/internal/band"
 	"github.com/tiled-la/bidiag/internal/baseline"
+	"github.com/tiled-la/bidiag/internal/critpath"
 	"github.com/tiled-la/bidiag/internal/experiments"
 	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/trees"
 )
 
 type runner func(experiments.Scale) []*experiments.Table
@@ -98,6 +102,17 @@ var registry = map[string]runner{
 	"asymptotics": single(experiments.Asymptotics),
 	"accuracy":    single(experiments.Accuracy),
 	"pipeline-cp": single(experiments.PipelineCP),
+
+	// Model-vs-measured: real traced pool runs reconciled against the
+	// simulated makespan (wall clock, unlike every other experiment).
+	"reconcile": func(sc experiments.Scale) []*experiments.Table {
+		t, err := experiments.Reconcile(sc, runtime.GOMAXPROCS(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return []*experiments.Table{t}
+	},
 
 	// Ablations of the design choices called out in DESIGN.md.
 	"ablation-deps":     single(experiments.AblationDeps),
@@ -162,6 +177,13 @@ type perfResult struct {
 	CommVolume     float64 `json:"comm_volume_bytes,omitempty"`
 	PayloadBytes   int64   `json:"payload_bytes,omitempty"`
 	UtilizationPct float64 `json:"utilization_pct,omitempty"`
+
+	// Reconcile is the model-vs-measured report of one extra traced rep
+	// (shared-memory ge2bnd runs only): the simulated makespan of the
+	// same DAG converted to seconds at the measured kernel rate, next to
+	// the traced wall clock and per-kind GFLOP/s. Informational — the
+	// regression comparison (cmd/benchguard) ignores it.
+	Reconcile *critpath.ReconcileReport `json:"reconcile,omitempty"`
 }
 
 // runPerf executes one real GE2BND (reps times, best wall time kept),
@@ -215,6 +237,19 @@ func runPerf(m, n, nb, workers, nodes, gridR, gridC, reps int, jsonPath string) 
 	flops := baseline.PaperFlops(rows, cols)
 	res.WallSeconds = best.Seconds()
 	res.GFlops = flops / 1e9 / res.WallSeconds
+	if nodes == 0 {
+		// One extra traced rep, after the timed ones so the ring buffers
+		// never taint the wall figures, reconciles the run against the
+		// flop model (trees.Auto matches the public API's default tree).
+		rep, _, err := experiments.ReconcileRun(trees.Auto, rows, cols, nb, workers, 0, false)
+		if err != nil {
+			return err
+		}
+		res.Reconcile = rep
+		fmt.Printf("reconcile: measured %.3fs vs predicted %.3fs (ratio %.2f)  util %.1f%%  %.2f GFLOP/s traced\n",
+			rep.WallSeconds, rep.PredictedWallSeconds, rep.MakespanRatio,
+			rep.UtilizationPct, rep.MeasuredGFlops)
+	}
 	fmt.Printf("GE2BND %dx%d nb=%d workers=%d", m, n, nb, workers)
 	if res.Nodes > 0 {
 		fmt.Printf(" nodes=%d grid=%dx%d", res.Nodes, res.GridRows, res.GridCols)

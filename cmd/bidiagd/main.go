@@ -8,9 +8,16 @@
 //
 //	POST /v1/svd               {"m":3,"n":2,"data":[...col-major...],"options":{"nb":64}}
 //	POST /v1/singular-values   same request; values-only response
+//	                           (?trace=1 records the job's task timeline and
+//	                           returns a job_id keying /debug/trace/{job_id})
 //	GET  /healthz              liveness + uptime
-//	GET  /metrics              expvar: queue depth, jobs/s, p50/p99 latency,
-//	                           cache hit rate, gang batching counters
+//	GET  /metrics              Prometheus text exposition: job/latency/queue-wait
+//	                           histograms, queue and cache gauges, outcome counters
+//	GET  /debug/vars           the same snapshot as JSON (queue depth, jobs/s,
+//	                           p50/p99 latency, cache hit rate, gang counters)
+//	GET  /debug/trace/{id}     Chrome-tracing JSON timeline of a traced job
+//	                           (load in Perfetto or chrome://tracing)
+//	GET  /debug/pprof/...      standard net/http/pprof profiling surface
 //
 // Overload is surfaced as HTTP 429 (the admission queue is bounded);
 // clients that disconnect cancel their job mid-graph. A kernel panic

@@ -3,16 +3,16 @@ package main
 import (
 	"encoding/json"
 	"errors"
-	"expvar"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/tiled-la/bidiag"
+	"github.com/tiled-la/bidiag/internal/obs"
 )
 
 // matrixJSON is the wire form of a dense matrix: column-major data, so
@@ -44,6 +44,9 @@ type valuesResponse struct {
 	S        []float64 `json:"s"`
 	CacheHit bool      `json:"cache_hit"`
 	Ms       float64   `json:"ms"`
+	// JobID is set for traced requests (?trace=1): the job's timeline is
+	// then available at /debug/trace/{job_id}.
+	JobID string `json:"job_id,omitempty"`
 }
 
 type svdResponse struct {
@@ -52,6 +55,7 @@ type svdResponse struct {
 	V        matrixJSON `json:"v"`
 	CacheHit bool       `json:"cache_hit"`
 	Ms       float64    `json:"ms"`
+	JobID    string     `json:"job_id,omitempty"`
 }
 
 func (o optionsJSON) toOptions() (*bidiag.Options, error) {
@@ -112,10 +116,13 @@ func denseJSON(d *bidiag.Dense) matrixJSON {
 	return matrixJSON{M: m, N: n, Data: data}
 }
 
-// server is the daemon's HTTP surface over one bidiag.Service.
+// server is the daemon's HTTP surface over one bidiag.Service. Every
+// server owns its metrics and trace store outright — two servers in one
+// process (as in tests) never share or shadow each other's figures.
 type server struct {
-	svc   *bidiag.Service
-	start time.Time
+	svc    *bidiag.Service
+	start  time.Time
+	traces *traceStore
 	// maxBody bounds a request body in bytes: admission queues bound how
 	// many jobs wait, this bounds how big one job may be — without it a
 	// single oversized POST could exhaust memory before backpressure
@@ -126,36 +133,81 @@ type server struct {
 // defaultMaxBody admits matrices up to roughly 1500² in JSON form.
 const defaultMaxBody = 32 << 20
 
-// expvar owns a process-global registry, so the "bidiagd" var is
-// published once and reads whichever server installed itself last (only
-// relevant to tests; the daemon has exactly one).
-var (
-	metricsOnce   sync.Once
-	metricsSource atomic.Pointer[server]
-)
-
-// newMux wires the daemon's routes and installs the expvar metrics.
-// maxBody ≤ 0 selects defaultMaxBody.
+// newMux wires the daemon's routes. maxBody ≤ 0 selects defaultMaxBody.
 func newMux(svc *bidiag.Service, start time.Time, maxBody int64) *http.ServeMux {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	s := &server{svc: svc, start: start, maxBody: maxBody}
-	metricsSource.Store(s)
-	metricsOnce.Do(func() {
-		expvar.Publish("bidiagd", expvar.Func(func() any {
-			return metricsSource.Load().snapshot()
-		}))
-	})
+	s := &server{svc: svc, start: start, maxBody: maxBody, traces: newTraceStore(traceStoreCap)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/singular-values", s.handleSingularValues)
 	mux.HandleFunc("POST /v1/svd", s.handleSVD)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", expvar.Handler())
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
-// snapshot assembles the /metrics figure: service counters plus the
+// handleMetrics serves the Prometheus text exposition. The registry is
+// rebuilt per scrape over ONE Stats snapshot, so every series in a
+// response is drawn from the same instant.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	reg := obs.NewRegistry()
+	uptime := time.Since(s.start).Seconds()
+	gauge := func(name, help string, v float64) { reg.Gauge(name, help, func() float64 { return v }) }
+	counter := func(name, help string, v float64) { reg.Counter(name, help, func() float64 { return v }) }
+
+	gauge("bidiagd_uptime_seconds", "Seconds since the daemon started.", uptime)
+	gauge("bidiagd_workers", "Shared pool size.", float64(st.Workers))
+	gauge("bidiagd_inflight_jobs", "Jobs currently executing.", float64(st.InFlight))
+	reg.LabeledGauge("bidiagd_queue_depth", "Instantaneous admission-queue depth.", func() []obs.LabeledValue {
+		return []obs.LabeledValue{
+			{Label: `queue="solo"`, Value: float64(st.QueueLen)},
+			{Label: `queue="gang"`, Value: float64(st.GangQueueLen)},
+		}
+	})
+	// Total admission capacity: each of the two queues is bounded by
+	// QueueCap.
+	gauge("bidiagd_queue_capacity", "Total admission capacity across both queues.", float64(2*st.QueueCap))
+	gauge("bidiagd_workspace_bytes", "Total scratch-arena footprint of the pool's workers.", float64(st.WorkspaceBytes))
+	gauge("bidiagd_cache_entries", "Entries in the result cache.", float64(st.CacheEntries))
+	gauge("bidiagd_cache_bytes", "Bytes held by the result cache.", float64(st.CacheBytes))
+	gauge("bidiagd_cache_capacity_bytes", "Result cache budget.", float64(st.CacheCap))
+	reg.LabeledCounter("bidiagd_jobs_total", "Finished jobs by outcome.", func() []obs.LabeledValue {
+		return []obs.LabeledValue{
+			{Label: `result="done"`, Value: float64(st.JobsDone)},
+			{Label: `result="failed"`, Value: float64(st.JobsFailed)},
+			{Label: `result="cancelled"`, Value: float64(st.JobsCancelled)},
+		}
+	})
+	counter("bidiagd_gang_batches_total", "Executed gang graphs.", float64(st.GangBatches))
+	counter("bidiagd_gang_jobs_total", "Member jobs carried by gang graphs.", float64(st.GangJobs))
+	counter("bidiagd_cache_hits_total", "Result-cache hits.", float64(st.CacheHits))
+	counter("bidiagd_cache_misses_total", "Result-cache misses.", float64(st.CacheMisses))
+	reg.Histogram("bidiagd_job_latency_seconds", "Job latency, enqueue to completion (cache hits included).", func() obs.HistogramSnapshot {
+		return obs.HistogramSnapshot{Bounds: st.Latency.Bounds, Counts: st.Latency.Counts, Sum: st.Latency.Sum, Count: st.Latency.Count}
+	})
+	reg.Histogram("bidiagd_job_queue_wait_seconds", "Job queue wait, enqueue to dispatch.", func() obs.HistogramSnapshot {
+		return obs.HistogramSnapshot{Bounds: st.QueueWait.Bounds, Counts: st.QueueWait.Counts, Sum: st.QueueWait.Sum, Count: st.QueueWait.Count}
+	})
+	reg.ServeHTTP(w, r)
+}
+
+// handleVars serves the JSON snapshot previously exported through the
+// process-global expvar registry; keeping it per-instance means two
+// servers in one process report their own services.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"bidiagd": s.snapshot()})
+}
+
+// snapshot assembles the /debug/vars figure: service counters plus the
 // derived rates the dashboards want.
 func (s *server) snapshot() map[string]any {
 	st := s.svc.Stats()
@@ -191,6 +243,7 @@ func (s *server) snapshot() map[string]any {
 		"cache_hit_rate":  hitRate,
 		"cache_entries":   st.CacheEntries,
 		"cache_bytes":     st.CacheBytes,
+		"workspace_bytes": st.WorkspaceBytes,
 	}
 }
 
@@ -234,8 +287,20 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.J
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?trace=1 records the per-task timeline: the job runs solo,
+	// bypasses the cache, and the response's job_id keys
+	// GET /debug/trace/{job_id}.
+	trace := false
+	switch strings.ToLower(r.URL.Query().Get("trace")) {
+	case "", "0", "false":
+	case "1", "true", "yes":
+		trace = true
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid trace value %q", r.URL.Query().Get("trace")))
+		return
+	}
 	begin := time.Now()
-	res, err := s.svc.Do(r.Context(), bidiag.JobRequest{Kind: kind, A: a, Opts: opts})
+	res, err := s.svc.Do(r.Context(), bidiag.JobRequest{Kind: kind, A: a, Opts: opts, Trace: trace})
 	if err != nil {
 		switch {
 		case errors.Is(err, bidiag.ErrOverloaded):
@@ -252,14 +317,18 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.J
 		return
 	}
 	ms := float64(time.Since(begin)) / float64(time.Millisecond)
+	jobID := ""
+	if trace && len(res.Timeline) > 0 {
+		jobID = s.traces.put(res.Timeline)
+	}
 	if kind == bidiag.JobSVD {
 		writeJSON(w, http.StatusOK, svdResponse{
 			U: denseJSON(res.SVD.U), S: res.SVD.S, V: denseJSON(res.SVD.V),
-			CacheHit: res.CacheHit, Ms: ms,
+			CacheHit: res.CacheHit, Ms: ms, JobID: jobID,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, valuesResponse{S: res.Values, CacheHit: res.CacheHit, Ms: ms})
+	writeJSON(w, http.StatusOK, valuesResponse{S: res.Values, CacheHit: res.CacheHit, Ms: ms, JobID: jobID})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -272,4 +341,84 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// traceStoreCap bounds how many finished job timelines a server retains
+// for /debug/trace: old entries are evicted FIFO, so a long-lived daemon
+// holds at most the most recent traced jobs.
+const traceStoreCap = 64
+
+// traceStore retains the timelines of recently traced jobs, keyed by the
+// job ID returned in the POST response.
+type traceStore struct {
+	mu    sync.Mutex
+	next  uint64
+	cap   int
+	order []string
+	byID  map[string][]bidiag.TaskSpan
+}
+
+func newTraceStore(cap int) *traceStore {
+	return &traceStore{cap: cap, byID: make(map[string][]bidiag.TaskSpan)}
+}
+
+// put stores a timeline and returns its job ID, evicting the oldest
+// entry once the store is full.
+func (ts *traceStore) put(spans []bidiag.TaskSpan) string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.next++
+	id := fmt.Sprintf("j%06d", ts.next)
+	if len(ts.order) == ts.cap {
+		delete(ts.byID, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+	ts.order = append(ts.order, id)
+	ts.byID[id] = spans
+	return id
+}
+
+func (ts *traceStore) get(id string) ([]bidiag.TaskSpan, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	spans, ok := ts.byID[id]
+	return spans, ok
+}
+
+// chromeEvent is one complete ("X"-phase) slice in the Chrome-tracing
+// JSON array format, the shape chrome://tracing and Perfetto ingest.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// handleTrace renders a stored timeline as a Chrome-tracing JSON array:
+// load it in Perfetto (ui.perfetto.dev) or chrome://tracing, one track
+// per worker.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans, ok := s.traces.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (traces are kept for the last %d traced jobs)", id, traceStoreCap))
+		return
+	}
+	events := make([]chromeEvent, len(spans))
+	for i, sp := range spans {
+		events[i] = chromeEvent{
+			Name: sp.Kernel,
+			Cat:  "task",
+			Ph:   "X",
+			TS:   float64(sp.Start) / float64(time.Microsecond),
+			Dur:  float64(sp.End-sp.Start) / float64(time.Microsecond),
+			TID:  sp.Worker,
+			Args: map[string]any{"i": sp.I, "j": sp.J, "k": sp.K, "flops": sp.Flops},
+		}
+	}
+	writeJSON(w, http.StatusOK, events)
 }

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -139,29 +141,190 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("healthz: %v", health)
 	}
 
-	mresp, err := http.Get(ts.URL + "/metrics")
+	vresp, err := http.Get(ts.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mresp.Body.Close()
+	defer vresp.Body.Close()
 	var vars map[string]json.RawMessage
-	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
 		t.Fatal(err)
 	}
 	raw, ok := vars["bidiagd"]
 	if !ok {
-		t.Fatalf("metrics lack the bidiagd var: have %d vars", len(vars))
+		t.Fatalf("debug/vars lack the bidiagd key: have %d vars", len(vars))
 	}
 	var m map[string]any
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
 	if m["jobs_done"].(float64) < 1 {
-		t.Fatalf("metrics: %v", m)
+		t.Fatalf("debug/vars: %v", m)
 	}
-	for _, key := range []string{"queue_depth", "jobs_per_second", "latency_p50_ms", "latency_p99_ms", "cache_hit_rate"} {
+	for _, key := range []string{"queue_depth", "jobs_per_second", "latency_p50_ms", "latency_p99_ms", "cache_hit_rate", "workspace_bytes"} {
 		if _, ok := m[key]; !ok {
-			t.Fatalf("metrics missing %q: %v", key, m)
+			t.Fatalf("debug/vars missing %q: %v", key, m)
+		}
+	}
+}
+
+// TestPrometheusMetrics pins the /metrics exposition: text format with
+// the core series, including cumulative histogram buckets ending at +Inf.
+func TestPrometheusMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q, want Prometheus text exposition", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, want := range []string{
+		"# TYPE bidiagd_workers gauge",
+		"# TYPE bidiagd_jobs_total counter",
+		`bidiagd_jobs_total{result="done"} 1`,
+		`bidiagd_queue_depth{queue="solo"}`,
+		`bidiagd_queue_depth{queue="gang"}`,
+		"# TYPE bidiagd_job_latency_seconds histogram",
+		`bidiagd_job_latency_seconds_bucket{le="+Inf"} 1`,
+		"bidiagd_job_latency_seconds_count 1",
+		"# TYPE bidiagd_job_queue_wait_seconds histogram",
+		"bidiagd_workspace_bytes",
+		"bidiagd_cache_misses_total 1",
+		"bidiagd_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestServersAreIndependent pins the per-instance metrics fix: two
+// servers in one process must each report their own service, not
+// whichever installed itself into a process-global registry last.
+func TestServersAreIndependent(t *testing.T) {
+	ts1, _ := testServer(t)
+	ts2, _ := testServer(t)
+	post(t, ts1.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
+
+	jobsDone := func(url string) float64 {
+		resp, err := http.Get(url + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vars struct {
+			Bidiagd map[string]any `json:"bidiagd"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+			t.Fatal(err)
+		}
+		return vars.Bidiagd["jobs_done"].(float64)
+	}
+	if n := jobsDone(ts1.URL); n != 1 {
+		t.Fatalf("server 1 jobs_done = %v, want 1", n)
+	}
+	if n := jobsDone(ts2.URL); n != 0 {
+		t.Fatalf("server 2 jobs_done = %v, want 0 (leaked across instances)", n)
+	}
+}
+
+// TestTraceRoundTrip posts a traced job and fetches its timeline as
+// Chrome-tracing JSON.
+func TestTraceRoundTrip(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/singular-values?trace=1", jobJSON{matrixJSON: diag212})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced post: status %d", resp.StatusCode)
+	}
+	var out valuesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.JobID == "" {
+		t.Fatal("traced response lacks job_id")
+	}
+	if out.CacheHit {
+		t.Fatal("traced job must not be served from the cache")
+	}
+
+	tresp, err := http.Get(ts.URL + "/debug/trace/" + out.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", tresp.StatusCode)
+	}
+	var events []chromeEvent
+	if err := json.NewDecoder(tresp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, e := range events {
+		if e.Ph != "X" || e.Name == "" || e.Dur < 0 || e.TS < 0 {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+	}
+
+	// Unknown IDs 404; untraced jobs get no job_id.
+	nf, err := http.Get(ts.URL + "/debug/trace/nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", nf.StatusCode)
+	}
+	plain := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
+	defer plain.Body.Close()
+	var pout valuesResponse
+	if err := json.NewDecoder(plain.Body).Decode(&pout); err != nil {
+		t.Fatal(err)
+	}
+	if pout.JobID != "" {
+		t.Fatalf("untraced response carries job_id %q", pout.JobID)
+	}
+}
+
+// TestTraceStoreEviction pins the FIFO bound on retained traces.
+func TestTraceStoreEviction(t *testing.T) {
+	store := newTraceStore(2)
+	id1 := store.put([]bidiag.TaskSpan{{Kernel: "GEQRT"}})
+	id2 := store.put([]bidiag.TaskSpan{{Kernel: "TSQRT"}})
+	id3 := store.put([]bidiag.TaskSpan{{Kernel: "TSMQR"}})
+	if _, ok := store.get(id1); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	for _, id := range []string{id2, id3} {
+		if _, ok := store.get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+}
+
+// TestPprofEndpoints checks the profiling surface responds.
+func TestPprofEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
 		}
 	}
 }

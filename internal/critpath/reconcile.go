@@ -1,0 +1,123 @@
+package critpath
+
+import (
+	"fmt"
+
+	"github.com/tiled-la/bidiag/internal/obs"
+	"github.com/tiled-la/bidiag/internal/sched"
+)
+
+// KindRate is one kernel kind's measured execution rate within a
+// reconciled run — the per-shape GFLOP/s figures the planned autotuner
+// (see ROADMAP) calibrates on.
+type KindRate struct {
+	Kind        string  `json:"kind"`
+	Count       int     `json:"count"`
+	Flops       float64 `json:"flops"`
+	BusySeconds float64 `json:"busy_seconds"`
+	GFlops      float64 `json:"gflops"`
+}
+
+// ReconcileReport compares one measured execution of a graph against the
+// model's predictions for the same DAG: the critical path and the
+// fixed-worker list-scheduling makespan under the modeled flop counts.
+//
+// The bridge between the two time bases is the measured kernel rate:
+// the trace says the workers executed TracedFlops modeled flops in
+// BusySeconds of kernel time, so one modeled flop costs
+// BusySeconds/TracedFlops wall seconds on average, and the model's
+// makespan (in flops) converts to PredictedWallSeconds. MakespanRatio
+// is then measured wall over predicted wall — 1.0 means the real
+// scheduler packed the DAG as tightly as the virtual list scheduler;
+// the gap above 1 is scheduling and synchronization loss the flop model
+// cannot see (per-kind rate spread, runtime overhead, memory effects).
+type ReconcileReport struct {
+	Workers     int   `json:"workers"`
+	Tasks       int   `json:"tasks"`
+	TracedTasks int   `json:"traced_tasks"`
+	Dropped     int64 `json:"dropped,omitempty"`
+
+	// Measured side.
+	WallSeconds    float64 `json:"wall_seconds"`     // trace span: last end − first start
+	BusySeconds    float64 `json:"busy_seconds"`     // Σ task durations
+	UtilizationPct float64 `json:"utilization_pct"`  // busy / (workers × wall)
+	TracedFlops    float64 `json:"traced_flops"`     // Σ modeled flops of traced tasks
+	MeasuredGFlops float64 `json:"measured_gflops"`  // traced flops / wall
+	KernelGFlops   float64 `json:"kernel_gflops"`    // traced flops / busy (per-core kernel rate)
+	MeasuredCPSecs float64 `json:"measured_cp_secs"` // longest path under measured durations
+
+	// Model side (modeled flop units).
+	ModelFlops         float64 `json:"model_flops"`
+	ModelCPFlops       float64 `json:"model_cp_flops"`
+	ModelMakespanFlops float64 `json:"model_makespan_flops"`
+
+	// Reconciliation.
+	PredictedWallSeconds float64 `json:"predicted_wall_seconds"`
+	MakespanRatio        float64 `json:"makespan_ratio"`
+
+	PerKind []KindRate `json:"per_kind,omitempty"`
+}
+
+// Reconcile builds the model-vs-measured report for one traced execution
+// of g on the given worker count. events is the collected trace (see
+// obs.Tracer.Events) and dropped the tracer's drop count; an incomplete
+// trace still reconciles, using the traced subset's flops for the rate
+// and zero durations for untraced tasks on the measured critical path.
+func Reconcile(g *sched.Graph, workers int, events []obs.Event, dropped int64) (*ReconcileReport, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("critpath: nothing to reconcile: empty trace (dropped %d)", dropped)
+	}
+	s := obs.Summarize(events)
+	r := &ReconcileReport{
+		Workers:        workers,
+		Tasks:          len(g.Tasks),
+		TracedTasks:    s.Events,
+		Dropped:        dropped,
+		WallSeconds:    s.Span.Seconds(),
+		BusySeconds:    s.Busy.Seconds(),
+		TracedFlops:    s.Flops,
+		UtilizationPct: 100 * float64(s.Busy) / (float64(workers) * float64(s.Span)),
+	}
+	if r.WallSeconds > 0 {
+		r.MeasuredGFlops = s.Flops / 1e9 / r.WallSeconds
+	}
+	if r.BusySeconds > 0 {
+		r.KernelGFlops = s.Flops / 1e9 / r.BusySeconds
+	}
+	for _, k := range s.PerKind {
+		r.PerKind = append(r.PerKind, KindRate{
+			Kind:        k.Kind.String(),
+			Count:       k.Count,
+			Flops:       k.Flops,
+			BusySeconds: k.Busy.Seconds(),
+			GFlops:      k.GFlops(),
+		})
+	}
+
+	// Measured critical path: longest DAG path weighting each task by the
+	// duration the trace recorded for it.
+	durs := make([]float64, len(g.Tasks))
+	for _, e := range events {
+		if int(e.ID) < len(durs) {
+			durs[e.ID] = (e.End - e.Start).Seconds()
+		}
+	}
+	r.MeasuredCPSecs = g.CriticalPath(func(t *sched.Task) float64 { return durs[t.ID] })
+
+	r.ModelFlops = g.Summary().TotalFlops
+	r.ModelCPFlops = g.CriticalPath(sched.FlopsTime)
+	r.ModelMakespanFlops = g.SimulateFixed(workers, sched.FlopsTime).Makespan
+
+	// One modeled flop costs BusySeconds/TracedFlops wall seconds on this
+	// machine; scale the model's makespan into seconds at that rate.
+	if s.Flops > 0 && r.BusySeconds > 0 {
+		r.PredictedWallSeconds = r.ModelMakespanFlops * r.BusySeconds / s.Flops
+	}
+	if r.PredictedWallSeconds > 0 {
+		r.MakespanRatio = r.WallSeconds / r.PredictedWallSeconds
+	}
+	return r, nil
+}

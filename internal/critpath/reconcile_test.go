@@ -1,0 +1,89 @@
+package critpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
+	"github.com/tiled-la/bidiag/internal/pipeline"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+	"github.com/tiled-la/bidiag/internal/trees"
+)
+
+// tracedRun builds a real m×n GE2BND graph, runs it on `workers` pool
+// workers with tracing, and returns the graph with its collected trace.
+func tracedRun(t *testing.T, m, n, nb, workers int) (*sched.Graph, []obs.Event, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(m + n + nb)))
+	src := nla.RandomMatrix(rng, m, n)
+	sh := core.ShapeOf(m, n, nb)
+	p := pipeline.Build(pipeline.Spec{
+		Shape:  sh,
+		Data:   tile.FromDense(src, nb),
+		Config: core.Config{Tree: trees.Greedy, Gamma: 2, Cores: workers},
+	})
+	tr := obs.NewTracer(workers, len(p.Graph.Tasks))
+	p.Graph.Tracer = tr
+	if _, err := pipeline.Run(p, pipeline.Pool{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	return p.Graph, tr.Events(), tr.Dropped()
+}
+
+func TestReconcileRealRun(t *testing.T) {
+	g, events, dropped := tracedRun(t, 256, 256, 32, 3)
+	rep, err := Reconcile(g, 3, events, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TracedTasks != rep.Tasks || rep.Dropped != 0 {
+		t.Fatalf("incomplete trace: %d/%d tasks, %d dropped", rep.TracedTasks, rep.Tasks, rep.Dropped)
+	}
+	if rep.WallSeconds <= 0 || rep.BusySeconds <= 0 || rep.MeasuredGFlops <= 0 {
+		t.Fatalf("no measured time: %+v", rep)
+	}
+	if rep.ModelCPFlops <= 0 || rep.ModelMakespanFlops < rep.ModelCPFlops {
+		t.Fatalf("model figures inconsistent: cp %v, makespan %v", rep.ModelCPFlops, rep.ModelMakespanFlops)
+	}
+	// The measured critical path is a lower bound on the measured wall
+	// (every path executes within the span), and both sit under the busy
+	// sum for a parallel run.
+	if rep.MeasuredCPSecs <= 0 || rep.MeasuredCPSecs > rep.WallSeconds*1.001 {
+		t.Fatalf("measured cp %v outside (0, wall=%v]", rep.MeasuredCPSecs, rep.WallSeconds)
+	}
+	if len(rep.PerKind) < 2 {
+		t.Fatalf("expected several kernel kinds, got %+v", rep.PerKind)
+	}
+	// The documented reconciliation factor: on an otherwise idle machine
+	// the pool's measured makespan lands within 4x of the model's
+	// prediction at the measured kernel rate. The bound is deliberately
+	// loose — CI machines are noisy — while still catching a broken time
+	// base (ratios of 100x) or a broken conversion (ratios near 0).
+	if rep.MakespanRatio < 0.25 || rep.MakespanRatio > 4 {
+		t.Fatalf("makespan ratio %v outside [0.25, 4]", rep.MakespanRatio)
+	}
+}
+
+func TestReconcileSecondShape(t *testing.T) {
+	g, events, dropped := tracedRun(t, 512, 256, 32, 2)
+	rep, err := Reconcile(g, 2, events, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanRatio < 0.25 || rep.MakespanRatio > 4 {
+		t.Fatalf("makespan ratio %v outside [0.25, 4]", rep.MakespanRatio)
+	}
+	if rep.UtilizationPct <= 0 || rep.UtilizationPct > 100.1 {
+		t.Fatalf("utilization %v%% out of range", rep.UtilizationPct)
+	}
+}
+
+func TestReconcileEmptyTrace(t *testing.T) {
+	g := sched.NewGraph()
+	if _, err := Reconcile(g, 2, nil, 0); err == nil {
+		t.Fatal("empty trace should not reconcile")
+	}
+}

@@ -171,7 +171,9 @@ func Execute(g *sched.Graph, opt Options) (*Result, error) {
 	for _, nd := range e.nodes {
 		for w := 0; w < wpn; w++ {
 			workers.Add(1)
-			go e.worker(nd, &workers)
+			// Global worker index node*wpn+local, so a traced distributed
+			// run lays out one lane per physical worker across all nodes.
+			go e.worker(nd, int(nd.id)*wpn+w, &workers)
 		}
 	}
 	workers.Wait()
@@ -210,7 +212,7 @@ func (e *engine) nodeOf(t *sched.Task) int32 {
 	return t.Node % int32(len(e.nodes))
 }
 
-func (e *engine) worker(nd *execNode, wg *sync.WaitGroup) {
+func (e *engine) worker(nd *execNode, id int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	// Each node-pool worker owns one max-sized workspace, mirroring the
 	// shared-memory executor: the node's steady state is allocation-free.
@@ -228,7 +230,7 @@ func (e *engine) worker(nd *execNode, wg *sync.WaitGroup) {
 		nd.mu.Unlock()
 
 		begin := time.Now()
-		if err := t.RunSafe(ws); err != nil {
+		if err := e.g.RunTask(t, ws, id); err != nil {
 			// A panicking kernel strands every consumer of its output;
 			// release the workers and surface the error from Execute
 			// instead of killing the process.

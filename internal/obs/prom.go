@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// TimeBuckets returns the default latency bucket bounds in seconds:
+// roughly exponential from 250µs to 60s, a range that resolves both a
+// cache hit and a multi-minute reduction.
+func TimeBuckets() []float64 {
+	return []float64{
+		0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// Histogram is a concurrent fixed-bucket histogram: len(bounds)+1
+// buckets, the last catching observations above every bound. Observe is
+// lock-free (one atomic add per call plus the sum update), so it can sit
+// on serving hot paths; Snapshot is safe at any time. Unlike a sliding
+// latency window, bucket counts survive bursts of any length and export
+// directly as a Prometheus histogram.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// bounds (nil selects TimeBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = TimeBuckets()
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative), with Counts[len(Bounds)] the overflow
+// bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Taken concurrently with
+// Observe, the copy may trail by in-flight observations; each bucket is
+// internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank, the standard
+// histogram_quantile estimate. Observations in the overflow bucket are
+// attributed its lower bound. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket: no upper bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LabeledValue is one sample of a metric family with a label set.
+type LabeledValue struct {
+	// Label is the rendered label pairs, e.g. `queue="solo"` — the text
+	// between the braces.
+	Label string
+	Value float64
+}
+
+// Registry renders a set of collect-on-scrape metrics in the Prometheus
+// text exposition format (version 0.0.4). Collection closures run at
+// write time, so a registry built over a stats snapshot costs nothing
+// between scrapes. Not safe for concurrent mutation; build fully, then
+// serve.
+type Registry struct {
+	items []promItem
+}
+
+type promItem struct {
+	name, help, typ string
+	scalar          func() float64
+	labeled         func() []LabeledValue
+	hist            func() HistogramSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Gauge registers a single-sample gauge.
+func (r *Registry) Gauge(name, help string, f func() float64) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "gauge", scalar: f})
+}
+
+// Counter registers a single-sample counter (name should end _total).
+func (r *Registry) Counter(name, help string, f func() float64) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "counter", scalar: f})
+}
+
+// LabeledGauge registers a gauge family with one sample per label set.
+func (r *Registry) LabeledGauge(name, help string, f func() []LabeledValue) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "gauge", labeled: f})
+}
+
+// LabeledCounter registers a counter family with one sample per label set.
+func (r *Registry) LabeledCounter(name, help string, f func() []LabeledValue) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "counter", labeled: f})
+}
+
+// Histogram registers a histogram family rendered as the conventional
+// _bucket{le=…}/_sum/_count series.
+func (r *Registry) Histogram(name, help string, f func() HistogramSnapshot) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "histogram", hist: f})
+}
+
+// WriteText renders every registered metric.
+func (r *Registry) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, it := range r.items {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", it.name, it.help, it.name, it.typ)
+		switch {
+		case it.scalar != nil:
+			fmt.Fprintf(&b, "%s %s\n", it.name, promFloat(it.scalar()))
+		case it.labeled != nil:
+			for _, lv := range it.labeled() {
+				fmt.Fprintf(&b, "%s{%s} %s\n", it.name, lv.Label, promFloat(lv.Value))
+			}
+		case it.hist != nil:
+			s := it.hist()
+			var cum uint64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", it.name, promFloat(bound), cum)
+			}
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", it.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", it.name, promFloat(s.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", it.name, cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP implements http.Handler with the exposition content type.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := r.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent for
+// integral values in the common range, shortest round-trip otherwise).
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/kernels"
+)
+
+// Event is one executed task instance in a measured run. Start and End
+// are offsets from the tracer's origin, so events from different workers
+// share one clock.
+type Event struct {
+	Kind    kernels.Kind
+	ID      int32 // task ID within its graph
+	Node    int32 // owning node (distributed runs; 0 in shared memory)
+	I, J, K int32 // tile coordinates
+	Worker  int32 // global worker index (node*workersPerNode + local)
+	Flops   float64
+	Start   time.Duration
+	End     time.Duration
+}
+
+// Ring is one worker's event buffer: a preallocated, single-producer
+// append-only ring. The producer publishes each slot with an atomic store
+// of the count, so a concurrent collector reading count-then-prefix sees
+// only fully written events — recording needs no lock and no allocation.
+// When the ring fills, further events are counted as dropped rather than
+// overwriting history (a trace with a hole at the end is diagnosable; one
+// with silent holes in the middle is not).
+type Ring struct {
+	worker  int32
+	events  []Event
+	count   atomic.Int64
+	dropped atomic.Int64
+}
+
+// Record appends one event, stamping the ring's worker index. Only the
+// owning worker may call it.
+func (r *Ring) Record(ev Event) {
+	n := r.count.Load()
+	if int(n) >= len(r.events) {
+		r.dropped.Add(1)
+		return
+	}
+	ev.Worker = r.worker
+	r.events[n] = ev
+	r.count.Store(n + 1)
+}
+
+// snapshot returns the published prefix; safe concurrently with Record.
+func (r *Ring) snapshot() []Event {
+	return r.events[:r.count.Load()]
+}
+
+// Tracer collects the per-worker rings of one (or several consecutive)
+// executions. Create one per run with NewTracer, attach it to the graph
+// (sched.Graph.Tracer), execute, then collect with Events or Summary.
+// All methods are safe for concurrent use; Ring and Record are designed
+// to be called from the executing workers while a collector reads.
+type Tracer struct {
+	origin time.Time
+	perCap int
+
+	mu    sync.Mutex
+	rings atomic.Pointer[[]*Ring]
+}
+
+// NewTracer returns a tracer with one ring per expected worker, each
+// holding up to perWorkerCap events (≤ 0 selects 1<<14). Workers beyond
+// the expected count get rings on demand; sizing perWorkerCap at the
+// graph's task count guarantees a complete trace however unevenly the
+// scheduler balances.
+func NewTracer(workers, perWorkerCap int) *Tracer {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorkerCap <= 0 {
+		perWorkerCap = 1 << 14
+	}
+	t := &Tracer{origin: time.Now(), perCap: perWorkerCap}
+	rings := make([]*Ring, workers)
+	for w := range rings {
+		rings[w] = &Ring{worker: int32(w), events: make([]Event, perWorkerCap)}
+	}
+	t.rings.Store(&rings)
+	return t
+}
+
+// Origin is the tracer's time base; Event offsets are since this instant.
+func (t *Tracer) Origin() time.Time { return t.origin }
+
+// Now returns the current offset from the tracer's origin.
+func (t *Tracer) Now() time.Duration { return time.Since(t.origin) }
+
+// Ring returns worker w's ring, growing the ring table if w is beyond
+// the expected worker count (rare; the fast path is one atomic load and
+// an index).
+func (t *Tracer) Ring(w int) *Ring {
+	rings := *t.rings.Load()
+	if w < len(rings) {
+		return rings[w]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rings = *t.rings.Load()
+	if w < len(rings) {
+		return rings[w]
+	}
+	grown := make([]*Ring, w+1)
+	copy(grown, rings)
+	for i := len(rings); i < len(grown); i++ {
+		grown[i] = &Ring{worker: int32(i), events: make([]Event, t.perCap)}
+	}
+	t.rings.Store(&grown)
+	return grown[w]
+}
+
+// Dropped reports events lost to full rings.
+func (t *Tracer) Dropped() int64 {
+	var n int64
+	for _, r := range *t.rings.Load() {
+		n += r.dropped.Load()
+	}
+	return n
+}
+
+// Events merges every ring's published events into one slice ordered by
+// start time. It copies, so the result stays stable while workers keep
+// recording.
+func (t *Tracer) Events() []Event {
+	rings := *t.rings.Load()
+	total := 0
+	for _, r := range rings {
+		total += int(r.count.Load())
+	}
+	out := make([]Event, 0, total)
+	for _, r := range rings {
+		out = append(out, r.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// KindSummary aggregates one kernel kind's measured execution.
+type KindSummary struct {
+	Kind  kernels.Kind
+	Count int
+	Flops float64
+	Busy  time.Duration
+}
+
+// GFlops is the kind's measured throughput over its busy time.
+func (k KindSummary) GFlops() float64 {
+	if k.Busy <= 0 {
+		return 0
+	}
+	return k.Flops / 1e9 / k.Busy.Seconds()
+}
+
+// WorkerSummary aggregates one worker's measured execution.
+type WorkerSummary struct {
+	Worker int
+	Tasks  int
+	Busy   time.Duration
+}
+
+// Summary is the measured counterpart of a simulator's SimResult: the
+// same aggregate figures, computed from what actually ran.
+type Summary struct {
+	Events  int
+	Workers int // workers that executed ≥ 1 task
+	// Span is the measured makespan: last end minus first start.
+	Span time.Duration
+	// Busy sums task durations; Utilization is Busy/(Workers × Span).
+	Busy        time.Duration
+	Utilization float64
+	Flops       float64
+	PerKind     []KindSummary   // ascending kind order
+	PerWorker   []WorkerSummary // ascending worker order
+}
+
+// Summarize aggregates a collected trace.
+func Summarize(events []Event) Summary {
+	s := Summary{Events: len(events)}
+	if len(events) == 0 {
+		return s
+	}
+	first, last := events[0].Start, events[0].End
+	kinds := map[kernels.Kind]*KindSummary{}
+	workers := map[int]*WorkerSummary{}
+	for _, e := range events {
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+		d := e.End - e.Start
+		s.Busy += d
+		s.Flops += e.Flops
+		k := kinds[e.Kind]
+		if k == nil {
+			k = &KindSummary{Kind: e.Kind}
+			kinds[e.Kind] = k
+		}
+		k.Count++
+		k.Flops += e.Flops
+		k.Busy += d
+		w := workers[int(e.Worker)]
+		if w == nil {
+			w = &WorkerSummary{Worker: int(e.Worker)}
+			workers[int(e.Worker)] = w
+		}
+		w.Tasks++
+		w.Busy += d
+	}
+	s.Span = last - first
+	s.Workers = len(workers)
+	if s.Span > 0 && s.Workers > 0 {
+		s.Utilization = float64(s.Busy) / (float64(s.Workers) * float64(s.Span))
+	}
+	for _, k := range kinds {
+		s.PerKind = append(s.PerKind, *k)
+	}
+	sort.Slice(s.PerKind, func(i, j int) bool { return s.PerKind[i].Kind < s.PerKind[j].Kind })
+	for _, w := range workers {
+		s.PerWorker = append(s.PerWorker, *w)
+	}
+	sort.Slice(s.PerWorker, func(i, j int) bool { return s.PerWorker[i].Worker < s.PerWorker[j].Worker })
+	return s
+}

@@ -42,7 +42,7 @@ func (g *Graph) RunSequentialCtx(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := t.RunSafe(ws); err != nil {
+		if err := g.RunTask(t, ws, 0); err != nil {
 			return err
 		}
 	}
@@ -120,7 +120,7 @@ func (g *Graph) RunParallelCtx(ctx context.Context, workers int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// One max-sized arena per worker: tasks run one at a time on a
 			// worker, so they may use the whole workspace and the pool's
@@ -138,7 +138,7 @@ func (g *Graph) RunParallelCtx(ctx context.Context, workers int) error {
 				t := heap.Pop(&ready).(*Task)
 				mu.Unlock()
 
-				err := t.RunSafe(ws)
+				err := g.RunTask(t, ws, worker)
 
 				mu.Lock()
 				remaining--
@@ -156,7 +156,7 @@ func (g *Graph) RunParallelCtx(ctx context.Context, workers int) error {
 				cond.Broadcast()
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// The watcher writes firstErr under mu; read it the same way. A

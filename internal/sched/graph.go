@@ -26,6 +26,7 @@ import (
 
 	"github.com/tiled-la/bidiag/internal/kernels"
 	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
 )
 
 // Handle identifies one unit of data for dependency inference — typically
@@ -104,6 +105,36 @@ type Graph struct {
 	// SetScheduleBands); empty means one band, i.e. plain bottom-level
 	// scheduling.
 	bandMarks []int
+
+	// Tracer, when non-nil, receives one obs.Event per executed task from
+	// every executor (sequential, pool, shared runtime, owner-compute).
+	// Nil — the default — costs one pointer check per task.
+	Tracer *obs.Tracer
+}
+
+// RunTask executes one task through RunSafe on the given worker's
+// workspace, recording a trace event when the graph has a tracer
+// attached. It is the single choke point every executor dispatches
+// through, so measured traces cover all execution paths identically.
+func (g *Graph) RunTask(t *Task, ws *nla.Workspace, worker int) error {
+	tr := g.Tracer
+	if tr == nil {
+		return t.RunSafe(ws)
+	}
+	start := tr.Now()
+	err := t.RunSafe(ws)
+	tr.Ring(worker).Record(obs.Event{
+		Kind:  t.Kind,
+		ID:    t.ID,
+		Node:  t.Node,
+		I:     t.I,
+		J:     t.J,
+		K:     t.K,
+		Flops: t.Flops,
+		Start: start,
+		End:   tr.Now(),
+	})
+	return err
 }
 
 // SetScheduleBands partitions the graph's tasks — in submission order —

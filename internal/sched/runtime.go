@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tiled-la/bidiag/internal/nla"
 )
@@ -41,6 +42,11 @@ type Runtime struct {
 	jobs    []*JobHandle // admitted and unfinished, in admission order
 	closed  bool
 	wg      sync.WaitGroup
+
+	// wsBytes[w] is worker w's current arena size in bytes, maintained
+	// with atomic stores so WorkspaceBytes can be scraped without
+	// touching rt.mu.
+	wsBytes []int64
 }
 
 // JobOptions tunes one Submit.
@@ -74,17 +80,28 @@ func NewRuntime(workers int) *Runtime {
 	if workers < 1 {
 		workers = 1
 	}
-	rt := &Runtime{workers: workers}
+	rt := &Runtime{workers: workers, wsBytes: make([]int64, workers)}
 	rt.cond = sync.NewCond(&rt.mu)
 	for w := 0; w < workers; w++ {
 		rt.wg.Add(1)
-		go rt.worker()
+		go rt.worker(w)
 	}
 	return rt
 }
 
 // Workers returns the pool size.
 func (rt *Runtime) Workers() int { return rt.workers }
+
+// WorkspaceBytes returns the total bytes currently held by the workers'
+// scratch arenas — the pool's resident numerical footprint beyond the
+// matrices themselves.
+func (rt *Runtime) WorkspaceBytes() int64 {
+	var n int64
+	for w := range rt.wsBytes {
+		n += atomic.LoadInt64(&rt.wsBytes[w])
+	}
+	return n
+}
 
 // InFlight returns the number of admitted, unfinished jobs.
 func (rt *Runtime) InFlight() int {
@@ -250,7 +267,7 @@ func (rt *Runtime) pickLocked(prev *JobHandle) *JobHandle {
 	return best
 }
 
-func (rt *Runtime) worker() {
+func (rt *Runtime) worker(id int) {
 	defer rt.wg.Done()
 	// The worker's arena grows lazily to the largest requirement among the
 	// jobs it serves; a steady mix of shapes reaches a high-water mark and
@@ -279,9 +296,11 @@ func (rt *Runtime) worker() {
 		blocking := h.g.Blocking
 		rt.mu.Unlock()
 
-		ws.EnsureCap(need)
+		if ws.EnsureCap(need); ws.Cap() != int(atomic.LoadInt64(&rt.wsBytes[id]))/8 {
+			atomic.StoreInt64(&rt.wsBytes[id], int64(ws.Cap())*8)
+		}
 		ws.Blocking = blocking
-		err := t.RunSafe(ws)
+		err := h.g.RunTask(t, ws, id)
 		if err != nil {
 			// A panicking kernel skipped its Release calls; drop its
 			// checkouts so the long-lived worker's arena does not leak

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"github.com/tiled-la/bidiag/internal/obs"
 )
 
 // TraceEvent is one scheduled task instance in a simulated execution.
@@ -111,6 +113,27 @@ func (g *Graph) SimulateFixedTrace(workers int, timeOf func(*Task) float64) (Sim
 		util = busy / (float64(workers) * now)
 	}
 	return SimResult{Makespan: now, BusyTime: busy, Utilization: util, Tasks: done}, events
+}
+
+// MeasuredTraceEvents converts a collected measured trace (obs.Tracer
+// events from a real execution) into the TraceEvent shape the simulator
+// emits, with times in seconds, so WriteChromeTrace and every other
+// consumer render measured and simulated schedules identically. The Task
+// pointers are synthesized from the event metadata; they carry the
+// identity fields (kind, coordinates, node, flops) but none of the graph
+// structure.
+func MeasuredTraceEvents(events []obs.Event) []TraceEvent {
+	out := make([]TraceEvent, 0, len(events))
+	for _, e := range events {
+		t := &Task{ID: e.ID, Kind: e.Kind, Node: e.Node, I: e.I, J: e.J, K: e.K, Flops: e.Flops}
+		out = append(out, TraceEvent{
+			Task:   t,
+			Worker: int(e.Worker),
+			Start:  e.Start.Seconds(),
+			End:    e.End.Seconds(),
+		})
+	}
+	return out
 }
 
 // WriteChromeTrace emits the schedule in the Chrome tracing JSON array

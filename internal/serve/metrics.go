@@ -3,17 +3,17 @@ package serve
 import (
 	"context"
 	"errors"
-	"sort"
 	"sync"
 	"time"
+
+	"github.com/tiled-la/bidiag/internal/obs"
 )
 
-// latWindow is the sliding window of recent job latencies the p50/p99
-// figures are computed over.
-const latWindow = 512
-
-// metrics aggregates the service counters. All methods are safe for
-// concurrent use.
+// metrics aggregates the service counters. Latency and queue wait live in
+// fixed-bucket histograms (internal/obs) rather than a sliding window:
+// quantiles survive bursts of any length, and the buckets export directly
+// as Prometheus histogram series from the daemon's /metrics endpoint.
+// All methods are safe for concurrent use.
 type metrics struct {
 	mu sync.Mutex
 
@@ -22,16 +22,23 @@ type metrics struct {
 	cacheHits, cacheMisses              uint64
 	inflight                            int
 
-	lat  [latWindow]time.Duration
-	nLat int // total recorded; lat[i % latWindow] is a ring
+	lat   *obs.Histogram // enqueue-to-completion, seconds
+	qwait *obs.Histogram // enqueue-to-dispatch, seconds
 }
 
-func (m *metrics) recordDone(d time.Duration) {
+func (m *metrics) init() {
+	m.lat = obs.NewHistogram(nil)
+	m.qwait = obs.NewHistogram(nil)
+}
+
+// recordDone counts one finished job with its total latency and the
+// portion spent queued before dispatch.
+func (m *metrics) recordDone(total, queued time.Duration) {
 	m.mu.Lock()
 	m.jobsDone++
-	m.lat[m.nLat%latWindow] = d
-	m.nLat++
 	m.mu.Unlock()
+	m.lat.Observe(total.Seconds())
+	m.qwait.Observe(queued.Seconds())
 }
 
 func (m *metrics) recordFail(err error) {
@@ -57,25 +64,8 @@ func (m *metrics) recordMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *metrics) enter() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
 func (m *metrics) exit()  { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
 
-// quantiles returns the p50 and p99 latency over the window.
-func (m *metrics) quantiles() (p50, p99 time.Duration) {
-	m.mu.Lock()
-	n := m.nLat
-	if n > latWindow {
-		n = latWindow
-	}
-	buf := make([]time.Duration, n)
-	copy(buf, m.lat[:n])
-	m.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	return buf[(n-1)*50/100], buf[(n-1)*99/100]
-}
-
 // Stats is a point-in-time snapshot of the service, the figure exported
-// by the daemon's /metrics endpoint.
+// by the daemon's /metrics and /debug/vars endpoints.
 type Stats struct {
 	// Workers is the shared pool size; InFlight counts jobs currently
 	// executing (admitted to the runtime or finishing).
@@ -92,7 +82,15 @@ type Stats struct {
 	CacheEntries           int
 	CacheBytes, CacheCap   int64
 
-	// P50 and P99 are job latencies (enqueue to completion, cache hits
-	// included) over the last 512 finished jobs.
+	// WorkspaceBytes is the total scratch-arena footprint of the pool's
+	// workers.
+	WorkspaceBytes int64
+
+	// Latency and QueueWait are the full bucketed distributions (seconds)
+	// of job latency (enqueue to completion, cache hits included) and
+	// queue wait (enqueue to dispatch) over the service's lifetime.
+	Latency, QueueWait obs.HistogramSnapshot
+
+	// P50 and P99 are estimated from the Latency buckets.
 	P50, P99 time.Duration
 }

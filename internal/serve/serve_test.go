@@ -360,3 +360,69 @@ func TestManyConcurrentJobs(t *testing.T) {
 		t.Fatal("latency window empty after 64 jobs")
 	}
 }
+
+func TestTracedJob(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	var builds atomic.Int32
+	req := sumRequest(7, &builds)
+	req.Key = "sum-7"
+	req.Gang = true // must be ignored: traced jobs run solo
+	req.Trace = true
+
+	// Seed the cache through an untraced request with the same key.
+	plain := sumRequest(7, &builds)
+	plain.Key = "sum-7"
+	if _, err := s.Do(context.Background(), plain); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("traced job must bypass the cache")
+	}
+	if res.Value.(int64) != 13 {
+		t.Fatalf("traced value = %v, want 13", res.Value)
+	}
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(res.Trace))
+	}
+	for i, e := range res.Trace {
+		if e.Kind != kernels.GEQRTKind || e.End < e.Start {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("Build ran %d times, want 2 (trace bypasses cache)", n)
+	}
+	st := s.Stats()
+	if st.GangBatches != 0 {
+		t.Fatalf("traced job gang-batched: %+v", st)
+	}
+}
+
+func TestStatsHistograms(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Do(context.Background(), sumRequest(int64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Latency.Count != 5 || st.QueueWait.Count != 5 {
+		t.Fatalf("histogram counts lat=%d qwait=%d, want 5/5", st.Latency.Count, st.QueueWait.Count)
+	}
+	if st.Latency.Sum <= 0 {
+		t.Fatalf("latency sum = %v, want > 0", st.Latency.Sum)
+	}
+	if st.P50 <= 0 || st.P99 < st.P50 {
+		t.Fatalf("quantiles p50=%v p99=%v", st.P50, st.P99)
+	}
+	if st.WorkspaceBytes < 0 {
+		t.Fatalf("workspace bytes = %d", st.WorkspaceBytes)
+	}
+}

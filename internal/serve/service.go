@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/sched"
 )
 
@@ -84,6 +85,11 @@ type Request struct {
 	Gang bool
 	// Weight is the job's fair-share weight on the runtime (≤ 0: 1).
 	Weight float64
+	// Trace requests a measured execution timeline: the job runs solo
+	// (never gang-batched — members share one graph) and bypasses the
+	// result cache in both directions, so the trace reflects a real,
+	// complete execution; Result.Trace carries the collected events.
+	Trace bool
 }
 
 // Result is a finished job's outcome.
@@ -95,6 +101,9 @@ type Result struct {
 	CacheHit bool
 	// Queued and Ran split the job's latency at dispatch time.
 	Queued, Ran time.Duration
+	// Trace is the measured per-task timeline of a Request.Trace job,
+	// ordered by start time; nil otherwise.
+	Trace []obs.Event
 }
 
 // Job tracks one submitted request.
@@ -184,6 +193,7 @@ func New(cfg Config) *Service {
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		closed: make(chan struct{}),
 	}
+	s.met.init()
 	if s.rt == nil {
 		s.rt = sched.NewRuntime(cfg.Workers)
 		s.ownRt = true
@@ -218,18 +228,18 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Job, error) {
 	}
 	j := &Job{req: req, ctx: ctx, enqueued: time.Now(), done: make(chan struct{})}
 
-	if req.Key != "" {
+	if req.Key != "" && !req.Trace {
 		if v, ok := s.cache.get(req.Key); ok {
 			s.met.recordHit()
 			j.completeOK(&Result{Value: v, CacheHit: true})
-			s.met.recordDone(time.Since(j.enqueued))
+			s.met.recordDone(time.Since(j.enqueued), 0)
 			return j, nil
 		}
 		s.met.recordMiss()
 	}
 
 	target := s.queue
-	if req.Gang {
+	if req.Gang && !req.Trace {
 		target = s.gangq
 	}
 	select {
@@ -291,7 +301,11 @@ func (s *Service) Stats() Stats {
 		CacheCap:      capacity,
 	}
 	s.met.mu.Unlock()
-	st.P50, st.P99 = s.met.quantiles()
+	st.WorkspaceBytes = s.rt.WorkspaceBytes()
+	st.Latency = s.met.lat.Snapshot()
+	st.QueueWait = s.met.qwait.Snapshot()
+	st.P50 = time.Duration(st.Latency.Quantile(0.50) * float64(time.Second))
+	st.P99 = time.Duration(st.Latency.Quantile(0.99) * float64(time.Second))
 	return st
 }
 
@@ -331,7 +345,7 @@ func (s *Service) fail(j *Job, err error) {
 
 func (s *Service) complete(j *Job, res *Result) {
 	if j.completeOK(res) {
-		s.met.recordDone(time.Since(j.enqueued))
+		s.met.recordDone(time.Since(j.enqueued), res.Queued)
 	}
 }
 
@@ -390,6 +404,13 @@ func (s *Service) runSolo(j *Job) {
 		s.fail(j, err)
 		return
 	}
+	var tr *obs.Tracer
+	if j.req.Trace {
+		// Sized at the task count so the timeline is complete however
+		// unevenly the shared pool balances the job.
+		tr = obs.NewTracer(s.rt.Workers(), len(g.Tasks))
+		g.Tracer = tr
+	}
 	h, err := s.rt.Submit(j.ctx, g, sched.JobOptions{Weight: j.req.Weight})
 	if err != nil {
 		s.fail(j, err)
@@ -404,13 +425,19 @@ func (s *Service) runSolo(j *Job) {
 		s.fail(j, err)
 		return
 	}
+	res := &Result{Value: v, Queued: start.Sub(j.enqueued), Ran: time.Since(start)}
+	if tr != nil {
+		res.Trace = tr.Events()
+	}
 	s.publish(j, v)
-	s.complete(j, &Result{Value: v, Queued: start.Sub(j.enqueued), Ran: time.Since(start)})
+	s.complete(j, res)
 }
 
-// publish inserts a finished result into the cache.
+// publish inserts a finished result into the cache. Traced jobs never
+// publish: they bypassed the cache lookup, so publishing would let one
+// traced run overwrite an entry other submitters already rely on.
 func (s *Service) publish(j *Job, v any) {
-	if j.req.Key == "" || j.req.Bytes == nil || v == nil {
+	if j.req.Trace || j.req.Key == "" || j.req.Bytes == nil || v == nil {
 		return
 	}
 	s.cache.add(j.req.Key, v, s.cfg.overhead()+j.req.Bytes(v))

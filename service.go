@@ -13,6 +13,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/bdsqr"
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/jacobi"
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/pipeline"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/serve"
@@ -54,7 +55,8 @@ type ServiceConfig struct {
 }
 
 // ServiceStats is a point-in-time snapshot of a Service, mirroring what
-// the bidiagd daemon exports at /metrics.
+// the bidiagd daemon exports at /metrics (Prometheus text) and
+// /debug/vars (JSON).
 type ServiceStats struct {
 	Workers, InFlight                   int
 	QueueLen, GangQueueLen, QueueCap    int
@@ -63,9 +65,36 @@ type ServiceStats struct {
 	CacheHits, CacheMisses              uint64
 	CacheEntries                        int
 	CacheBytes, CacheCap                int64
-	// P50 and P99 are job latencies (enqueue to completion, cache hits
-	// included) over the last 512 finished jobs.
+	// WorkspaceBytes is the total scratch-arena footprint of the shared
+	// pool's workers.
+	WorkspaceBytes int64
+	// Latency and QueueWait are bucketed distributions (in seconds) of
+	// job latency (enqueue to completion, cache hits included) and queue
+	// wait (enqueue to dispatch) over the service's lifetime.
+	Latency, QueueWait HistogramStats
+	// P50 and P99 are job latencies estimated from the Latency buckets.
 	P50, P99 time.Duration
+}
+
+// HistogramStats is a snapshot of a fixed-bucket histogram. Bucket i
+// counts observations in (Bounds[i-1], Bounds[i]]; Counts has one more
+// entry than Bounds for the overflow bucket. The layout maps directly
+// onto a Prometheus histogram's cumulative _bucket/_sum/_count series.
+type HistogramStats struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets by
+// linear interpolation. It returns 0 for an empty histogram.
+func (h HistogramStats) Quantile(q float64) float64 {
+	return obs.HistogramSnapshot{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum, Count: h.Count}.Quantile(q)
+}
+
+func toHistogramStats(s obs.HistogramSnapshot) HistogramStats {
+	return HistogramStats{Bounds: s.Bounds, Counts: s.Counts, Sum: s.Sum, Count: s.Count}
 }
 
 // JobKind selects what a service job computes.
@@ -96,6 +125,12 @@ type JobRequest struct {
 	// (the service fuses whenever BND2BD allows it — the fused and
 	// staged paths are bitwise-identical).
 	Opts *Options
+	// Trace records a per-task execution timeline for this job,
+	// returned in JobResult.Timeline. A traced job always executes — it
+	// runs solo (never gang-batched), bypasses the result cache in both
+	// directions, and pays a small bookkeeping cost per task — so the
+	// timeline reflects one complete real execution of the job's graph.
+	Trace bool
 }
 
 // JobResult is a finished service job. Results may be served from the
@@ -107,6 +142,25 @@ type JobResult struct {
 	SVD *SVDResult
 	// CacheHit reports that the result came from the cache.
 	CacheHit bool
+	// Timeline is the per-task execution trace of this job, sorted by
+	// start time, when JobRequest.Trace was set (nil otherwise).
+	Timeline []TaskSpan
+}
+
+// TaskSpan is one executed task in a traced job's timeline. Start and
+// End are offsets from a common per-job origin, so spans are directly
+// comparable within one Timeline.
+type TaskSpan struct {
+	// Kernel is the tile-kernel name (GEQRT, TSMQR, BRDSEG, …).
+	Kernel string
+	// Worker is the pool worker that executed the task.
+	Worker int
+	// I, J, K are the task's tile coordinates (panel, row, column —
+	// meaning depends on the kernel).
+	I, J, K int
+	// Flops is the task's modeled flop count.
+	Flops      float64
+	Start, End time.Duration
 }
 
 // Job is an in-flight service job.
@@ -206,7 +260,10 @@ func (s *Service) Stats() ServiceStats {
 		GangBatches: st.GangBatches, GangJobs: st.GangJobs,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		CacheEntries: st.CacheEntries, CacheBytes: st.CacheBytes, CacheCap: st.CacheCap,
-		P50: st.P50, P99: st.P99,
+		WorkspaceBytes: st.WorkspaceBytes,
+		Latency:        toHistogramStats(st.Latency),
+		QueueWait:      toHistogramStats(st.QueueWait),
+		P50:            st.P50, P99: st.P99,
 	}
 }
 
@@ -263,6 +320,7 @@ func (s *Service) request(req JobRequest) (serve.Request, error) {
 		Key:   key,
 		Bytes: resultBytes,
 		Gang:  gang,
+		Trace: req.Trace,
 	}, nil
 }
 
@@ -381,11 +439,33 @@ func resultBytes(v any) int64 {
 
 // toJobResult lifts a generic serve result into the typed public form.
 func toJobResult(res *serve.Result) (*JobResult, error) {
+	var jr *JobResult
 	switch v := res.Value.(type) {
 	case []float64:
-		return &JobResult{Values: v, CacheHit: res.CacheHit}, nil
+		jr = &JobResult{Values: v, CacheHit: res.CacheHit}
 	case *SVDResult:
-		return &JobResult{Values: v.S, SVD: v, CacheHit: res.CacheHit}, nil
+		jr = &JobResult{Values: v.S, SVD: v, CacheHit: res.CacheHit}
+	default:
+		return nil, fmt.Errorf("bidiag: unexpected service result %T", res.Value)
 	}
-	return nil, fmt.Errorf("bidiag: unexpected service result %T", res.Value)
+	jr.Timeline = toTimeline(res.Trace)
+	return jr, nil
+}
+
+// toTimeline lifts recorded trace events into the public span form.
+func toTimeline(events []obs.Event) []TaskSpan {
+	if len(events) == 0 {
+		return nil
+	}
+	spans := make([]TaskSpan, len(events))
+	for i, e := range events {
+		spans[i] = TaskSpan{
+			Kernel: e.Kind.String(),
+			Worker: int(e.Worker),
+			I:      int(e.I), J: int(e.J), K: int(e.K),
+			Flops: e.Flops,
+			Start: e.Start, End: e.End,
+		}
+	}
+	return spans
 }

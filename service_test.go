@@ -257,3 +257,64 @@ func TestSingularValuesCtxMidCancel(t *testing.T) {
 		t.Fatalf("mid-graph cancel = %v, want context.Canceled", err)
 	}
 }
+
+// TestServiceTracedJob pins the public trace surface: a traced repeat of
+// a cached job must re-execute (no cache hit in either direction) and
+// return a complete, ordered timeline whose kernels are real tile
+// kernels on valid workers.
+func TestServiceTracedJob(t *testing.T) {
+	svc := NewService(&ServiceConfig{Workers: 2})
+	defer svc.Close()
+	a := randomDense(9, 64, 48)
+	opts := &Options{NB: 16, Workers: 2}
+
+	plain, err := svc.Do(context.Background(), JobRequest{A: a, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Timeline != nil {
+		t.Fatal("untraced job must not carry a timeline")
+	}
+
+	traced, err := svc.Do(context.Background(), JobRequest{A: a, Opts: opts, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.CacheHit {
+		t.Fatal("traced job must bypass the cache")
+	}
+	if len(traced.Timeline) == 0 {
+		t.Fatal("traced job returned no timeline")
+	}
+	for i, s := range traced.Timeline {
+		if s.Kernel == "" || s.End < s.Start || s.Worker < 0 || s.Worker >= 2 {
+			t.Fatalf("span %d malformed: %+v", i, s)
+		}
+		if i > 0 && s.Start < traced.Timeline[i-1].Start {
+			t.Fatalf("timeline not sorted at span %d", i)
+		}
+	}
+	for k := range plain.Values {
+		if plain.Values[k] != traced.Values[k] {
+			t.Fatalf("traced value %d differs from untraced", k)
+		}
+	}
+
+	// The traced run must not have published over the cached entry: a
+	// third plain submission still hits.
+	again, err := svc.Do(context.Background(), JobRequest{A: a, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("traced run displaced the cached result")
+	}
+
+	st := svc.Stats()
+	if st.Latency.Count < 3 || st.QueueWait.Count < 3 {
+		t.Fatalf("histogram counts %d/%d, want >= 3", st.Latency.Count, st.QueueWait.Count)
+	}
+	if p50 := st.Latency.Quantile(0.5); p50 <= 0 {
+		t.Fatalf("latency p50 %v, want > 0", p50)
+	}
+}

@@ -192,6 +192,15 @@ func (a Algorithm) String() string {
 // Options configures the reduction. The zero value (or a nil pointer)
 // selects the defaults of the paper's implementation.
 type Options struct {
+	// Auto hands plan selection to the model-seeded planner: every
+	// zero-valued knob (NB, Tree = Auto, Algorithm = AutoAlgorithm,
+	// BND2BDWindow, Fused) is chosen by pricing candidate plans on the
+	// machine model, while explicitly set knobs are honored as pins.
+	// The resolution is deterministic — AutoPlan returns the concrete
+	// Options an Auto run executes, bitwise-identically. Incompatible
+	// with Distributed. Service jobs additionally refine Auto plans
+	// online from measured throughput (see ServiceConfig.PlanProfiles).
+	Auto bool
 	// NB is the tile size (default 64; the paper tunes 160 for its
 	// hardware).
 	NB int
@@ -438,14 +447,11 @@ func distPlan(d *DistOptions, opts Options, m, n int) (dist.Grid, int, error) {
 }
 
 // prepare is the shared prologue of every public entry point: option
-// defaults and validation, reduction-tree resolution, the implicit
+// validation (Validate is the one consolidated checking path), planner
+// resolution of Options.Auto, reduction-tree resolution, the implicit
 // transpose of wide inputs (m < n), and the empty-matrix check.
 func prepare(a *Dense, o *Options) (opts Options, src *nla.Matrix, treeKind trees.Kind, transposed bool, err error) {
-	opts, err = o.withDefaults()
-	if err != nil {
-		return opts, nil, 0, false, err
-	}
-	treeKind, err = opts.Tree.kind()
+	opts, err = o.Validate()
 	if err != nil {
 		return opts, nil, 0, false, err
 	}
@@ -456,6 +462,18 @@ func prepare(a *Dense, o *Options) (opts Options, src *nla.Matrix, treeKind tree
 	}
 	if src.Rows == 0 || src.Cols == 0 {
 		return opts, nil, 0, false, errors.New("bidiag: empty matrix")
+	}
+	if opts.Auto {
+		// AutoPlan normalizes m ≥ n itself, so passing the original shape
+		// resolves identically to the transposed one.
+		opts, err = AutoPlan(src.Rows, src.Cols, o)
+		if err != nil {
+			return opts, nil, 0, false, err
+		}
+	}
+	treeKind, err = opts.Tree.kind()
+	if err != nil {
+		return opts, nil, 0, false, err
 	}
 	return opts, src, treeKind, transposed, nil
 }

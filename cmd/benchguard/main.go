@@ -19,9 +19,15 @@ import (
 	"os"
 )
 
+// currentSchema mirrors bidiagbench's record schema version. A
+// committed reference written before the current schema still compares
+// (the guarded figures are stable), but the guard says so out loud.
+const currentSchema = 2
+
 // record is the subset of the bidiagbench perf schema the guard needs.
 type record struct {
 	Experiment  string  `json:"experiment"`
+	Schema      int     `json:"schema"`
 	M           int     `json:"m"`
 	N           int     `json:"n"`
 	NB          int     `json:"nb"`
@@ -83,6 +89,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if ref.Schema < currentSchema {
+		// Warn, don't fail: old records stay comparable, but the noise
+		// nudges whoever refreshes the reference next to re-measure.
+		fmt.Fprintf(os.Stderr, "benchguard: warning: reference %s has schema %d, current is %d; consider re-measuring the committed record\n",
+			*refPath, ref.Schema, currentSchema)
 	}
 	if ref.Experiment != got.Experiment || ref.M != got.M || ref.N != got.N ||
 		ref.NB != got.NB || ref.KU != got.KU || ref.Workers != got.Workers ||

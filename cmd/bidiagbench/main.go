@@ -17,8 +17,10 @@
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
 // critpaths, crossover, asymptotics, accuracy, pipeline-cp, reconcile
-// (real traced pool runs against the simulated makespan — the one
-// wall-clock experiment). With -nodes the command
+// (real traced pool runs against the simulated makespan), and planner
+// (the plan model's pick raced against an exhaustive real sweep of its
+// own candidate set; regret per shape lands in planner.json). With
+// -nodes the command
 // instead runs GE2BND on that many in-process distributed-memory nodes
 // and reports the measured message count and volume next to the
 // distributed simulator's prediction for the same graph.
@@ -142,10 +144,16 @@ func parseGrid(s string) (int, int, error) {
 	return r, c, nil
 }
 
+// currentSchema versions the machine-readable benchmark records
+// (BENCH_*.json, planner.json). Bump it when fields change meaning;
+// cmd/benchguard warns when a committed reference predates it.
+const currentSchema = 2
+
 // perfResult is the machine-readable record of one timed GE2BND run, the
 // schema of the BENCH_*.json performance-trajectory files.
 type perfResult struct {
 	Experiment  string  `json:"experiment"`
+	Schema      int     `json:"schema,omitempty"`
 	M           int     `json:"m"`
 	N           int     `json:"n"`
 	NB          int     `json:"nb,omitempty"`
@@ -268,6 +276,7 @@ func writeResult(res perfResult, jsonPath string) error {
 	if jsonPath == "" {
 		return nil
 	}
+	res.Schema = currentSchema
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -622,9 +631,19 @@ func main() {
 	}
 
 	if *list || *exp == "" {
-		fmt.Println("experiments:", strings.Join(names(), " "))
+		fmt.Println("experiments:", strings.Join(append(names(), "planner"), " "))
 		if *exp == "" {
 			os.Exit(2)
+		}
+		return
+	}
+
+	// Planner evaluation is its own branch: it runs real wall-clock
+	// sweeps and emits planner.json rather than a Table CSV.
+	if *exp == "planner" {
+		if err := runPlannerEval(*scale == "small", *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

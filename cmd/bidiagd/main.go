@@ -7,14 +7,19 @@
 // Endpoints:
 //
 //	POST /v1/svd               {"m":3,"n":2,"data":[...col-major...],"options":{"nb":64}}
-//	POST /v1/singular-values   same request; values-only response
+//	POST /v1/singular-values   same request; values-only response. A request
+//	                           without an options object (or with "auto":true)
+//	                           lets the plan autotuner choose the configuration.
 //	                           (?trace=1 records the job's task timeline and
 //	                           returns a job_id keying /debug/trace/{job_id})
 //	GET  /healthz              liveness + uptime
 //	GET  /metrics              Prometheus text exposition: job/latency/queue-wait
-//	                           histograms, queue and cache gauges, outcome counters
+//	                           histograms, queue and cache gauges, outcome and
+//	                           plan-decision counters
 //	GET  /debug/vars           the same snapshot as JSON (queue depth, jobs/s,
 //	                           p50/p99 latency, cache hit rate, gang counters)
+//	GET  /debug/plans          the plan autotuner's profiles: candidate sets,
+//	                           measured GFLOP/s, promotions (versioned JSON)
 //	GET  /debug/trace/{id}     Chrome-tracing JSON timeline of a traced job
 //	                           (load in Perfetto or chrome://tracing)
 //	GET  /debug/pprof/...      standard net/http/pprof profiling surface
@@ -51,6 +56,8 @@ func main() {
 	gangSize := flag.Int("gang-size", 0, "max jobs per gang graph (0: default 16)")
 	gangWait := flag.Duration("gang-wait", 0, "how long a forming gang waits for stragglers (0: default 2ms)")
 	maxBodyMB := flag.Int64("max-body-mb", 0, "largest accepted request body in MiB (0: default 32)")
+	profiles := flag.String("profiles", "", "persist plan-autotuner profiles at this path so restarts keep promoted plans (empty: in-memory only)")
+	planSamples := flag.Int("plan-min-samples", 0, "measured runs per candidate before a plan is promoted (0: default 3, negative: never promote)")
 	flag.Parse()
 
 	cacheBytes := int64(*cacheMB) << 20
@@ -65,6 +72,9 @@ func main() {
 		GangDim:     *gangDim,
 		GangSize:    *gangSize,
 		GangWait:    *gangWait,
+
+		PlanProfiles:   *profiles,
+		PlanMinSamples: *planSamples,
 	})
 	defer svc.Close()
 

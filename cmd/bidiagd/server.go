@@ -33,11 +33,18 @@ type optionsJSON struct {
 	Gamma     int    `json:"gamma,omitempty"`
 	BND2BD    string `json:"bnd2bd,omitempty"` // auto | pipelined | sequential
 	Window    int    `json:"window,omitempty"`
+	// Auto defers every unset knob to the service's plan autotuner
+	// (bidiag.Options.Auto); set knobs are honored as pins. A request
+	// with NO options object at all is planned the same way.
+	Auto bool `json:"auto,omitempty"`
 }
 
 type jobJSON struct {
 	matrixJSON
-	Options optionsJSON `json:"options"`
+	// Options is a pointer so an options-free request is distinguishable
+	// from an explicitly empty one: absent options mean "planner
+	// decides" (Options.Auto), while {} keeps the library defaults.
+	Options *optionsJSON `json:"options"`
 }
 
 type valuesResponse struct {
@@ -58,39 +65,26 @@ type svdResponse struct {
 	JobID    string     `json:"job_id,omitempty"`
 }
 
-func (o optionsJSON) toOptions() (*bidiag.Options, error) {
-	opts := &bidiag.Options{NB: o.NB, Workers: o.Workers, Gamma: o.Gamma, BND2BDWindow: o.Window}
-	switch strings.ToLower(o.Tree) {
-	case "", "auto":
-		opts.Tree = bidiag.Auto
-	case "flatts":
-		opts.Tree = bidiag.FlatTS
-	case "flattt":
-		opts.Tree = bidiag.FlatTT
-	case "greedy":
-		opts.Tree = bidiag.Greedy
-	default:
-		return nil, fmt.Errorf("unknown tree %q", o.Tree)
+// toOptions lowers the wire options to bidiag.Options via the library's
+// parse helpers (one shared validation path). A nil receiver is an
+// options-free request: everything defers to the planner.
+func (o *optionsJSON) toOptions() (*bidiag.Options, error) {
+	if o == nil {
+		return &bidiag.Options{Auto: true}, nil
 	}
-	switch strings.ToLower(o.Algorithm) {
-	case "", "auto":
-		opts.Algorithm = bidiag.AutoAlgorithm
-	case "bidiag":
-		opts.Algorithm = bidiag.Bidiag
-	case "rbidiag":
-		opts.Algorithm = bidiag.RBidiag
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", o.Algorithm)
+	opts := &bidiag.Options{
+		NB: o.NB, Workers: o.Workers, Gamma: o.Gamma,
+		BND2BDWindow: o.Window, Auto: o.Auto,
 	}
-	switch strings.ToLower(o.BND2BD) {
-	case "", "auto":
-		opts.BND2BD = bidiag.BND2BDAuto
-	case "pipelined":
-		opts.BND2BD = bidiag.BND2BDPipelined
-	case "sequential":
-		opts.BND2BD = bidiag.BND2BDSequential
-	default:
-		return nil, fmt.Errorf("unknown bnd2bd %q", o.BND2BD)
+	var err error
+	if opts.Tree, err = bidiag.ParseTree(o.Tree); err != nil {
+		return nil, err
+	}
+	if opts.Algorithm, err = bidiag.ParseAlgorithm(o.Algorithm); err != nil {
+		return nil, err
+	}
+	if opts.BND2BD, err = bidiag.ParseBND2BD(o.BND2BD); err != nil {
+		return nil, err
 	}
 	return opts, nil
 }
@@ -145,6 +139,7 @@ func newMux(svc *bidiag.Service, start time.Time, maxBody int64) *http.ServeMux 
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/plans", s.handlePlans)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -197,7 +192,31 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.Histogram("bidiagd_job_queue_wait_seconds", "Job queue wait, enqueue to dispatch.", func() obs.HistogramSnapshot {
 		return obs.HistogramSnapshot{Bounds: st.QueueWait.Bounds, Counts: st.QueueWait.Counts, Sum: st.QueueWait.Sum, Count: st.QueueWait.Count}
 	})
+	pc := s.svc.PlanCounters()
+	reg.LabeledCounter("bidiagd_plan_decisions_total", "Options.Auto plan decisions by source.", func() []obs.LabeledValue {
+		return []obs.LabeledValue{
+			{Label: `source="model"`, Value: float64(pc.Model)},
+			{Label: `source="explore"`, Value: float64(pc.Explore)},
+			{Label: `source="tuned"`, Value: float64(pc.Tuned)},
+		}
+	})
+	counter("bidiagd_plan_promotions_total", "Plan profiles promoted to a measured winner.", float64(pc.Promotions))
+	counter("bidiagd_plan_profiles_loaded_total", "Plan profiles restored from disk at startup.", float64(pc.Loaded))
+	gauge("bidiagd_plan_profiles", "Shape-bucket plan profiles currently held.", float64(pc.Profiles))
 	reg.ServeHTTP(w, r)
+}
+
+// handlePlans serves the autotuner's profile document: every shape
+// bucket's candidate set with model costs, measured GFLOP/s and the
+// promotion state — the same versioned JSON -profiles persists.
+func (s *server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.svc.PlanState()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 // handleVars serves the JSON snapshot previously exported through the
@@ -211,6 +230,7 @@ func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
 // derived rates the dashboards want.
 func (s *server) snapshot() map[string]any {
 	st := s.svc.Stats()
+	pc := s.svc.PlanCounters()
 	up := time.Since(s.start).Seconds()
 	hitRate := 0.0
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
@@ -244,6 +264,13 @@ func (s *server) snapshot() map[string]any {
 		"cache_entries":   st.CacheEntries,
 		"cache_bytes":     st.CacheBytes,
 		"workspace_bytes": st.WorkspaceBytes,
+		"plan_decisions": map[string]any{
+			"model":   pc.Model,
+			"explore": pc.Explore,
+			"tuned":   pc.Tuned,
+		},
+		"plan_promotions": pc.Promotions,
+		"plan_profiles":   pc.Profiles,
 	}
 }
 

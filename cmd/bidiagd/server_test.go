@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -105,8 +106,8 @@ func TestBadRequests(t *testing.T) {
 	}{
 		{"short data", matrixJSON{M: 4, N: 4, Data: []float64{1}}},
 		{"zero shape", matrixJSON{M: 0, N: 3}},
-		{"bad tree", jobJSON{matrixJSON: diag212, Options: optionsJSON{Tree: "bogus"}}},
-		{"bad bnd2bd", jobJSON{matrixJSON: diag212, Options: optionsJSON{BND2BD: "bogus"}}},
+		{"bad tree", jobJSON{matrixJSON: diag212, Options: &optionsJSON{Tree: "bogus"}}},
+		{"bad bnd2bd", jobJSON{matrixJSON: diag212, Options: &optionsJSON{BND2BD: "bogus"}}},
 	} {
 		resp := post(t, ts.URL+"/v1/singular-values", tc.body)
 		resp.Body.Close()
@@ -347,6 +348,141 @@ func TestBodyTooLarge(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("small body after 413: status %d", resp.StatusCode)
+	}
+}
+
+// TestOptionsFreeRequestIsPlanned pins the autotuned path: a POST with
+// no options object executes under a planner-chosen configuration, the
+// decision shows up in the plan counters, and /debug/plans documents
+// the profile.
+func TestOptionsFreeRequestIsPlanned(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/singular-values", map[string]any{
+		"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 2, 0},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out valuesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
+		t.Fatalf("s = %v, want [2 1]", out.S)
+	}
+
+	presp, err := http.Get(ts.URL + "/debug/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	var plans struct {
+		Version  int `json:"version"`
+		Counters struct {
+			Model uint64 `json:"model"`
+		} `json:"counters"`
+		Profiles []struct {
+			Candidates []struct {
+				Desc string `json:"desc"`
+			} `json:"candidates"`
+		} `json:"profiles"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	if plans.Version == 0 || len(plans.Profiles) == 0 {
+		t.Fatalf("debug/plans has no profiles: %+v", plans)
+	}
+	if plans.Counters.Model == 0 {
+		t.Fatal("options-free request did not count a model decision")
+	}
+	if len(plans.Profiles[0].Candidates) == 0 || plans.Profiles[0].Candidates[0].Desc == "" {
+		t.Fatalf("profile candidates undocumented: %+v", plans.Profiles[0])
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`bidiagd_plan_decisions_total{source="model"}`,
+		"bidiagd_plan_promotions_total",
+		"bidiagd_plan_profiles",
+	} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestPlanProfilesSurviveRestart drives a shape bucket to promotion,
+// restarts the service on the same profile file, and checks the new
+// daemon starts warm: the promotion is loaded and the next
+// options-free request is served from the tuned plan.
+func TestPlanProfilesSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	cfg := &bidiag.ServiceConfig{Workers: 2, PlanProfiles: path, PlanMinSamples: 1}
+
+	svc1 := bidiag.NewService(cfg)
+	ts1 := httptest.NewServer(newMux(svc1, time.Now(), 0))
+	// Distinct matrices in one shape bucket: cache hits skip execution,
+	// and only executed jobs feed the tuner.
+	for i := 0; i < 6; i++ {
+		body := map[string]any{"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 2 + float64(i), 0}}
+		resp := post(t, ts1.URL+"/v1/singular-values", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post %d: status %d", i, resp.StatusCode)
+		}
+		if svc1.PlanCounters().Promotions > 0 {
+			break
+		}
+	}
+	if svc1.PlanCounters().Promotions == 0 {
+		t.Fatal("profile never promoted despite MinSamples=1")
+	}
+	ts1.Close()
+	svc1.Close()
+
+	svc2 := bidiag.NewService(cfg)
+	ts2 := httptest.NewServer(newMux(svc2, time.Now(), 0))
+	defer func() { ts2.Close(); svc2.Close() }()
+	if svc2.PlanCounters().Loaded == 0 {
+		t.Fatal("restart did not load persisted profiles")
+	}
+	resp := post(t, ts2.URL+"/v1/singular-values", map[string]any{
+		"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 9, 0},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post after restart: status %d", resp.StatusCode)
+	}
+	if c := svc2.PlanCounters(); c.Tuned == 0 {
+		t.Fatalf("restarted service did not serve the tuned plan: %+v", c)
+	}
+}
+
+// TestAutoWithPinsRespectsThem checks "auto":true with a pinned nb
+// plans around the pin rather than ignoring it.
+func TestAutoWithPinsRespectsThem(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := post(t, ts.URL+"/v1/singular-values", jobJSON{
+		matrixJSON: diag212,
+		Options:    &optionsJSON{Auto: true, NB: 1},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out valuesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 {
+		t.Fatalf("s = %v, want [2 1]", out.S)
 	}
 }
 

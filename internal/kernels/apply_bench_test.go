@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tiled-la/bidiag/internal/nla"
+)
+
+// The apply kernels (UNMQR on the panel column, TSMQR on every trailing
+// tile) dominate stage-1 time, so their measured rates seed the plan
+// autotuner's cost model. These benchmarks isolate each across the tile
+// sizes the planner enumerates and report GFLOP/s, the unit the model's
+// rate table (internal/plan.SeedRates) is expressed in.
+
+var applyNBs = []int{32, 48, 64, 96, 128}
+
+// BenchmarkUNMQR applies a factored tile's reflectors to one nb×nb
+// trailing tile: Qᵀ·C, the per-panel-column update.
+func BenchmarkUNMQR(b *testing.B) {
+	for _, nb := range applyNBs {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			a := nla.RandomMatrix(rng, nb, nb)
+			tm := nla.NewMatrix(nb, nb)
+			tau := make([]float64, nb)
+			GEQRT(a, tm, tau, nil)
+			c := nla.RandomMatrix(rng, nb, nb)
+			ws := nla.NewWorkspace(ScratchSize(UNMQRKind, nb, nb, nb))
+			UNMQR(true, nb, a, tm, c, ws) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				UNMQR(true, nb, a, tm, c, ws)
+			}
+			flops := FlopsUNMQR(nb, nb, nb)
+			b.ReportMetric(flops*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkTSMQR applies a TSQRT coupling's reflectors to a stacked pair
+// of trailing tiles — the kernel the trailing-matrix update spends
+// almost all its time in.
+func BenchmarkTSMQR(b *testing.B) {
+	for _, nb := range applyNBs {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			a1 := nla.RandomMatrix(rng, nb, nb)
+			for j := 0; j < nb; j++ {
+				for i := j + 1; i < nb; i++ {
+					a1.Set(i, j, 0)
+				}
+			}
+			a2 := nla.RandomMatrix(rng, nb, nb)
+			tm := nla.NewMatrix(nb, nb)
+			tau := make([]float64, nb)
+			TSQRT(a1, a2, tm, tau, nil)
+			c1 := nla.RandomMatrix(rng, nb, nb)
+			c2 := nla.RandomMatrix(rng, nb, nb)
+			ws := nla.NewWorkspace(ScratchSize(TSMQRKind, nb, nb, nb))
+			TSMQR(true, nb, a2, tm, c1, c2, ws) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TSMQR(true, nb, a2, tm, c1, c2, ws)
+			}
+			flops := FlopsTSMQR(nb, nb, nb)
+			b.ReportMetric(flops*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates whole-graph execution feedback at task granularity:
+// total modeled flops, summed kernel busy time, and the wall span from
+// the first task start to the last task end. It is the autotuner's
+// feedback channel — where a Tracer records every event for offline
+// analysis, a Meter keeps four atomics' worth of aggregate, so attaching
+// one to a production job costs a few atomic updates per task and no
+// allocation. All methods are safe for concurrent use from many workers.
+type Meter struct {
+	tasks atomic.Int64
+	flops atomic.Uint64 // float64 bits, CAS-accumulated
+	busy  atomic.Int64  // summed task durations, nanoseconds
+	first atomic.Int64  // earliest task start, UnixNano (0 = none yet)
+	last  atomic.Int64  // latest task end, UnixNano
+}
+
+// Record folds one executed task into the aggregate.
+func (m *Meter) Record(flops float64, start, end time.Time) {
+	m.tasks.Add(1)
+	m.busy.Add(int64(end.Sub(start)))
+	if flops != 0 {
+		for {
+			old := m.flops.Load()
+			next := math.Float64bits(math.Float64frombits(old) + flops)
+			if m.flops.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+	s, e := start.UnixNano(), end.UnixNano()
+	for {
+		old := m.first.Load()
+		if old != 0 && old <= s {
+			break
+		}
+		if m.first.CompareAndSwap(old, s) {
+			break
+		}
+	}
+	for {
+		old := m.last.Load()
+		if old >= e {
+			break
+		}
+		if m.last.CompareAndSwap(old, e) {
+			break
+		}
+	}
+}
+
+// MeterSnapshot is a point-in-time copy of a Meter's aggregate.
+type MeterSnapshot struct {
+	Tasks int64
+	Flops float64
+	// Busy sums task durations across workers.
+	Busy time.Duration
+	// Span is last task end minus first task start — the measured
+	// makespan of the metered graph.
+	Span time.Duration
+}
+
+// Snapshot returns the current aggregate. Taken after the graph has
+// drained it covers every task; taken concurrently it covers the tasks
+// recorded so far.
+func (m *Meter) Snapshot() MeterSnapshot {
+	s := MeterSnapshot{
+		Tasks: m.tasks.Load(),
+		Flops: math.Float64frombits(m.flops.Load()),
+		Busy:  time.Duration(m.busy.Load()),
+	}
+	if first, last := m.first.Load(), m.last.Load(); last > first && first != 0 {
+		s.Span = time.Duration(last - first)
+	}
+	return s
+}
+
+// GFlops is the graph's measured wall-clock throughput: modeled flops
+// over the execution span. Zero when nothing was recorded.
+func (s MeterSnapshot) GFlops() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return s.Flops / 1e9 / s.Span.Seconds()
+}
+
+// KernelGFlops is the per-core kernel rate: modeled flops over summed
+// busy time.
+func (s MeterSnapshot) KernelGFlops() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return s.Flops / 1e9 / s.Busy.Seconds()
+}

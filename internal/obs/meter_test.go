@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMeterAggregates pins the Meter arithmetic: task count, CAS-summed
+// flops, summed busy time, and the first-start-to-last-end span.
+func TestMeterAggregates(t *testing.T) {
+	var m Meter
+	base := time.Unix(1000, 0)
+	m.Record(2e9, base, base.Add(100*time.Millisecond))
+	m.Record(1e9, base.Add(50*time.Millisecond), base.Add(250*time.Millisecond))
+	m.Record(0, base.Add(10*time.Millisecond), base.Add(20*time.Millisecond)) // overhead task
+
+	s := m.Snapshot()
+	if s.Tasks != 3 {
+		t.Fatalf("tasks = %d, want 3", s.Tasks)
+	}
+	if s.Flops != 3e9 {
+		t.Fatalf("flops = %g, want 3e9", s.Flops)
+	}
+	if want := 310 * time.Millisecond; s.Busy != want {
+		t.Fatalf("busy = %v, want %v", s.Busy, want)
+	}
+	if want := 250 * time.Millisecond; s.Span != want {
+		t.Fatalf("span = %v, want %v", s.Span, want)
+	}
+	// 3e9 flops over a 0.25s span = 12 GFLOP/s wall; over 0.31s busy ≈ 9.68.
+	if g := s.GFlops(); g < 11.99 || g > 12.01 {
+		t.Fatalf("GFlops = %g, want 12", g)
+	}
+	if k := s.KernelGFlops(); k < 9.6 || k > 9.7 {
+		t.Fatalf("KernelGFlops = %g, want ≈9.68", k)
+	}
+}
+
+// TestMeterEmpty pins the zero-value behavior: no recorded task means a
+// zero snapshot and zero rates (no division by a zero span).
+func TestMeterEmpty(t *testing.T) {
+	var m Meter
+	s := m.Snapshot()
+	if s.Tasks != 0 || s.Flops != 0 || s.Busy != 0 || s.Span != 0 {
+		t.Fatalf("empty meter snapshot not zero: %+v", s)
+	}
+	if s.GFlops() != 0 || s.KernelGFlops() != 0 {
+		t.Fatalf("empty meter rates not zero")
+	}
+}
+
+// TestMeterConcurrent pins that concurrent Records lose nothing: the
+// flop sum is CAS-accumulated and exact for integer-valued floats, and
+// the span brackets every recorded task.
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	base := time.Unix(2000, 0)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				start := base.Add(time.Duration(w*per+i) * time.Millisecond)
+				m.Record(1e6, start, start.Add(time.Millisecond))
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if want := int64(workers * per); s.Tasks != want {
+		t.Fatalf("tasks = %d, want %d", s.Tasks, want)
+	}
+	if want := float64(workers*per) * 1e6; s.Flops != want {
+		t.Fatalf("flops = %g, want %g (lost updates)", s.Flops, want)
+	}
+	if want := workers * per * int(time.Millisecond); s.Busy != time.Duration(want) {
+		t.Fatalf("busy = %v, want %v", s.Busy, time.Duration(want))
+	}
+	if want := time.Duration(workers*per) * time.Millisecond; s.Span != want {
+		t.Fatalf("span = %v, want %v", s.Span, want)
+	}
+}

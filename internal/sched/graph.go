@@ -23,6 +23,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/tiled-la/bidiag/internal/kernels"
 	"github.com/tiled-la/bidiag/internal/nla"
@@ -110,30 +111,45 @@ type Graph struct {
 	// every executor (sequential, pool, shared runtime, owner-compute).
 	// Nil — the default — costs one pointer check per task.
 	Tracer *obs.Tracer
+
+	// Meter, when non-nil, accumulates aggregate execution feedback
+	// (flops, busy time, makespan) into a handful of atomics — the
+	// autotuner's lightweight alternative to a full Tracer. Nil costs one
+	// pointer check per task, so the tracing-off hot path stays
+	// allocation-free.
+	Meter *obs.Meter
 }
 
 // RunTask executes one task through RunSafe on the given worker's
 // workspace, recording a trace event when the graph has a tracer
-// attached. It is the single choke point every executor dispatches
-// through, so measured traces cover all execution paths identically.
+// attached and aggregate feedback when it has a meter. It is the single
+// choke point every executor dispatches through, so measured traces and
+// tuner feedback cover all execution paths identically.
 func (g *Graph) RunTask(t *Task, ws *nla.Workspace, worker int) error {
-	tr := g.Tracer
-	if tr == nil {
+	tr, mt := g.Tracer, g.Meter
+	if tr == nil && mt == nil {
 		return t.RunSafe(ws)
 	}
-	start := tr.Now()
+	start := time.Now()
 	err := t.RunSafe(ws)
-	tr.Ring(worker).Record(obs.Event{
-		Kind:  t.Kind,
-		ID:    t.ID,
-		Node:  t.Node,
-		I:     t.I,
-		J:     t.J,
-		K:     t.K,
-		Flops: t.Flops,
-		Start: start,
-		End:   tr.Now(),
-	})
+	end := time.Now()
+	if mt != nil {
+		mt.Record(t.Flops, start, end)
+	}
+	if tr != nil {
+		origin := tr.Origin()
+		tr.Ring(worker).Record(obs.Event{
+			Kind:  t.Kind,
+			ID:    t.ID,
+			Node:  t.Node,
+			I:     t.I,
+			J:     t.J,
+			K:     t.K,
+			Flops: t.Flops,
+			Start: start.Sub(origin),
+			End:   end.Sub(origin),
+		})
+	}
 	return err
 }
 

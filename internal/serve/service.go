@@ -90,6 +90,11 @@ type Request struct {
 	// result cache in both directions, so the trace reflects a real,
 	// complete execution; Result.Trace carries the collected events.
 	Trace bool
+	// Observe, when non-nil, receives the job's whole-graph execution
+	// meter after a successful solo run (cache hits and gang batches are
+	// never observed: neither measures one clean graph). Called on the
+	// dispatcher goroutine — keep it cheap.
+	Observe func(obs.MeterSnapshot)
 }
 
 // Result is a finished job's outcome.
@@ -411,6 +416,11 @@ func (s *Service) runSolo(j *Job) {
 		tr = obs.NewTracer(s.rt.Workers(), len(g.Tasks))
 		g.Tracer = tr
 	}
+	var mt *obs.Meter
+	if j.req.Observe != nil {
+		mt = new(obs.Meter)
+		g.Meter = mt
+	}
 	h, err := s.rt.Submit(j.ctx, g, sched.JobOptions{Weight: j.req.Weight})
 	if err != nil {
 		s.fail(j, err)
@@ -428,6 +438,9 @@ func (s *Service) runSolo(j *Job) {
 	res := &Result{Value: v, Queued: start.Sub(j.enqueued), Ran: time.Since(start)}
 	if tr != nil {
 		res.Trace = tr.Events()
+	}
+	if mt != nil {
+		j.req.Observe(mt.Snapshot())
 	}
 	s.publish(j, v)
 	s.complete(j, res)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/jacobi"
 	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/pipeline"
+	"github.com/tiled-la/bidiag/internal/plan"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/serve"
 )
@@ -52,6 +54,16 @@ type ServiceConfig struct {
 	// (default 2ms).
 	GangSize int
 	GangWait time.Duration
+	// PlanProfiles persists the autotuner's plan profiles at this path
+	// (versioned JSON): NewService loads it when present so a restarted
+	// service keeps its promoted plans, and promotions and Close save
+	// it. Empty keeps the profiles in memory only.
+	PlanProfiles string
+	// PlanMinSamples is the per-candidate sample count the autotuner
+	// requires before promoting a measured winner (0 selects the
+	// default, 3; negative disables promotion so every Options.Auto job
+	// keeps exploring).
+	PlanMinSamples int
 }
 
 // ServiceStats is a point-in-time snapshot of a Service, mirroring what
@@ -123,7 +135,10 @@ type JobRequest struct {
 	// cache identity. All other fields (NB, Tree, Algorithm, Gamma,
 	// Gemm, BND2BD, BND2BDWindow) are honored per job; Fused is ignored
 	// (the service fuses whenever BND2BD allows it — the fused and
-	// staged paths are bitwise-identical).
+	// staged paths are bitwise-identical). Options.Auto defers the
+	// unset knobs to the service's plan autotuner, which explores the
+	// model's best candidates under live traffic and promotes the
+	// measured winner (see Options.Auto and ServiceConfig.PlanProfiles).
 	Opts *Options
 	// Trace records a per-task execution timeline for this job,
 	// returned in JobResult.Timeline. A traced job always executes — it
@@ -197,6 +212,9 @@ type Service struct {
 	// cacheOff skips cache-key digestion entirely when the cache budget
 	// is negative — no point hashing the matrix for a disabled cache.
 	cacheOff bool
+	// tuner resolves Options.Auto jobs: model-seeded plan selection,
+	// refined by the measured GFLOP/s of executed jobs.
+	tuner *plan.Tuner
 }
 
 // NewService starts a Service with the given configuration (nil selects
@@ -221,6 +239,7 @@ func NewService(cfg *ServiceConfig) *Service {
 		}),
 		gangDim:  gangDim,
 		cacheOff: c.CacheBytes < 0,
+		tuner:    plan.NewTuner(plan.TunerConfig{Path: c.PlanProfiles, MinSamples: c.PlanMinSamples}),
 	}
 }
 
@@ -267,9 +286,44 @@ func (s *Service) Stats() ServiceStats {
 	}
 }
 
-// Close stops admission, fails queued jobs, waits for in-flight jobs and
-// winds the shared pool down. Safe to call more than once.
-func (s *Service) Close() { s.inner.Close() }
+// Close stops admission, fails queued jobs, waits for in-flight jobs,
+// persists the plan profiles (when ServiceConfig.PlanProfiles is set)
+// and winds the shared pool down. Safe to call more than once.
+func (s *Service) Close() {
+	s.inner.Close()
+	_ = s.tuner.Close()
+}
+
+// PlanCounters are the lifetime decision counts of the service's plan
+// autotuner (see Options.Auto).
+type PlanCounters struct {
+	// Model, Explore and Tuned count Options.Auto decisions by source:
+	// the model's top pick while exploring, a non-top exploration
+	// candidate, and a promoted measured winner.
+	Model, Explore, Tuned uint64
+	// Promotions counts profiles that graduated to a measured winner;
+	// Loaded counts profiles restored from PlanProfiles at startup.
+	Promotions, Loaded uint64
+	// Profiles is the current number of shape-bucket profiles.
+	Profiles int
+}
+
+// PlanCounters returns the autotuner's decision counts.
+func (s *Service) PlanCounters() PlanCounters {
+	c := s.tuner.Counters()
+	return PlanCounters{
+		Model: c.Model, Explore: c.Explore, Tuned: c.Tuned,
+		Promotions: c.Promotions, Loaded: c.Loaded,
+		Profiles: len(s.tuner.State().Profiles),
+	}
+}
+
+// PlanState returns the autotuner's full profile state as one versioned
+// JSON document — the same document ServiceConfig.PlanProfiles persists
+// and bidiagd serves at /debug/plans.
+func (s *Service) PlanState() ([]byte, error) {
+	return json.MarshalIndent(s.tuner.State(), "", "  ")
+}
 
 // request validates a JobRequest and lowers it to the generic serving
 // layer: a Build closure emitting the job's task graph (possibly into a
@@ -279,13 +333,14 @@ func (s *Service) request(req JobRequest) (serve.Request, error) {
 	if req.A == nil {
 		return serve.Request{}, errors.New("bidiag: service job without a matrix")
 	}
+	var raw Options
+	if req.Opts != nil {
+		raw = *req.Opts
+	}
 	// Validate options eagerly so Submit fails fast, then again inside
 	// Build (prepare is cheap and keeps the closure self-contained).
-	opts, err := req.Opts.withDefaults()
+	opts, err := raw.Validate()
 	if err != nil {
-		return serve.Request{}, err
-	}
-	if _, err := opts.Tree.kind(); err != nil {
 		return serve.Request{}, err
 	}
 	if opts.Distributed != nil {
@@ -295,15 +350,51 @@ func (s *Service) request(req JobRequest) (serve.Request, error) {
 		return serve.Request{}, errors.New("bidiag: empty matrix")
 	}
 
+	// Options.Auto jobs consult the service's autotuner at admission:
+	// promoted profiles return their measured winner, exploring profiles
+	// spread traffic across the model's candidate set, and executed jobs
+	// feed their measured whole-graph GFLOP/s back via Observe.
+	var observe func(obs.MeterSnapshot)
+	auto := opts.Auto
+	promoted := false
+	run := opts
+	if auto {
+		preq, err := s.planRequest(req, raw, opts)
+		if err != nil {
+			return serve.Request{}, err
+		}
+		dec, err := s.tuner.Decide(preq)
+		if err != nil {
+			return serve.Request{}, err
+		}
+		run = applyPlanConfig(opts, dec.Config)
+		promoted = dec.Promoted
+		cfg := dec.Config
+		observe = func(ms obs.MeterSnapshot) {
+			s.tuner.Record(preq, cfg, ms.GFlops())
+		}
+	}
+	jobOpts := req.Opts
+	if auto {
+		jobOpts = &run // Build must run the tuner's plan, not re-plan
+	}
+
 	var build func(g *sched.Graph) (func() (any, error), error)
 	switch req.Kind {
 	case JobSingularValues:
-		build = buildSingularValuesJob(req.A, req.Opts)
+		build = buildSingularValuesJob(req.A, jobOpts)
 	case JobSVD:
-		build = buildSVDJob(req.A, req.Opts)
+		build = buildSVDJob(req.A, jobOpts)
 	default:
 		return serve.Request{}, fmt.Errorf("bidiag: unknown job kind %d", int(req.Kind))
 	}
+	// Auto jobs are cached under their PRE-resolution identity (the auto
+	// flag plus any pins): an exploring profile hands different
+	// configurations to identical requests, and keying on the resolved
+	// plan would turn every such repeat into a miss. The first executed
+	// plan's result serves all identical auto requests — results differ
+	// only in rounding across plans, and the cache's contract is "same
+	// request, same bytes".
 	key := ""
 	if !s.cacheOff {
 		key = cacheKey(req.Kind, req.A, opts)
@@ -312,16 +403,40 @@ func (s *Service) request(req JobRequest) (serve.Request, error) {
 	// blocking (it parameterizes the workers' workspaces): only jobs on
 	// the default blocking may gang, or one member's Options.Gemm would
 	// silently apply to its batch-mates and break their bitwise identity
-	// with solo runs. Custom-blocking jobs simply run solo.
+	// with solo runs. Custom-blocking jobs simply run solo. Auto jobs
+	// additionally gang only once their profile is promoted: exploration
+	// needs solo runs so the meter measures one clean graph.
 	gang := s.gangDim > 0 && max(req.A.Rows(), req.A.Cols()) <= s.gangDim &&
-		opts.Gemm == GemmBlock{}
+		opts.Gemm == GemmBlock{} && (!auto || promoted)
 	return serve.Request{
-		Build: build,
-		Key:   key,
-		Bytes: resultBytes,
-		Gang:  gang,
-		Trace: req.Trace,
+		Build:   build,
+		Key:     key,
+		Bytes:   resultBytes,
+		Gang:    gang,
+		Trace:   req.Trace,
+		Observe: observe,
 	}, nil
+}
+
+// planRequest lowers an Options.Auto job to its planning request. The
+// job kind constrains the candidate space beyond what the one-shot
+// entry points use: the service's singular-value path always fuses when
+// BND2BD allows it (its staged path is the sequential reference), and
+// the SVD path prices the recorded stage-1 graph only.
+func (s *Service) planRequest(req JobRequest, raw, opts Options) (plan.Request, error) {
+	preq := planRequest(req.A.Rows(), req.A.Cols(), raw, opts, plan.KindValues)
+	switch req.Kind {
+	case JobSingularValues:
+		if !preq.StagedOnly {
+			preq.FuseOnly = true
+		}
+	case JobSVD:
+		preq.Kind = plan.KindSVD
+		preq.FuseOnly, preq.StagedOnly = false, false
+	default:
+		return plan.Request{}, fmt.Errorf("bidiag: unknown job kind %d", int(req.Kind))
+	}
+	return preq, nil
 }
 
 // buildSingularValuesJob emits the full singular-value pipeline for one
@@ -423,6 +538,11 @@ func cacheKey(kind JobKind, a *Dense, opts Options) string {
 	w(uint64(opts.Gemm.NC))
 	w(uint64(opts.BND2BD))
 	w(uint64(opts.BND2BDWindow))
+	if opts.Auto {
+		// Keep auto requests distinct from explicit options that happen to
+		// carry the same knob values.
+		w(1)
+	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 

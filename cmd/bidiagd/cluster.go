@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/tiled-la/bidiag/httpapi"
+	"github.com/tiled-la/bidiag/internal/cluster"
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
+)
+
+// runCluster is bidiagd's multi-process mode (-node/-peers): one process
+// per grid node, a TCP mesh between them, rank 0 fronting the cluster
+// with the /v1/singular-values HTTP surface. Peers serve jobs until the
+// head shuts them down (or the mesh closes) and then exit.
+func runCluster(node int, peerList, gridSpec, addr string, workers int, stall time.Duration, maxBody int64) error {
+	addrs := strings.Split(peerList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return fmt.Errorf("-peers entry %d is empty", i)
+		}
+	}
+	grid, err := parseGrid(gridSpec, len(addrs))
+	if err != nil {
+		return err
+	}
+	if grid.Nodes() != len(addrs) {
+		return fmt.Errorf("-grid %s needs %d processes, -peers lists %d", gridSpec, grid.Nodes(), len(addrs))
+	}
+	if node < 0 || node >= len(addrs) {
+		return fmt.Errorf("-node %d outside the %d-entry peer list", node, len(addrs))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	log.Printf("bidiagd node %d/%d joining mesh (grid %dx%d)", node, len(addrs), grid.R, grid.C)
+	tr, err := dist.NewTCPTransport(context.Background(), node, addrs, nil)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	cfg := cluster.Config{Grid: grid, Transport: tr, Rank: node, StallTimeout: stall}
+
+	if node != 0 {
+		log.Printf("bidiagd node %d serving peer jobs", node)
+		return cluster.ServePeer(cfg)
+	}
+
+	head, err := cluster.NewHead(cfg)
+	if err != nil {
+		return err
+	}
+	defer head.Close()
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	h := &clusterServer{head: head, wpn: workers, nodes: len(addrs), grid: grid, start: time.Now(), maxBody: maxBody}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("bidiagd cluster head listening on %s (%d nodes, %d workers/node)", addr, len(addrs), workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s; shutting down cluster", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// parseGrid reads an "RxC" spec; an empty spec defaults to one process
+// column per node (Nx1), the layout with the fewest column exchanges.
+func parseGrid(spec string, nodes int) (dist.Grid, error) {
+	if spec == "" {
+		return dist.Grid{R: nodes, C: 1}, nil
+	}
+	var r, c int
+	if _, err := fmt.Sscanf(strings.ToLower(spec), "%dx%d", &r, &c); err != nil {
+		return dist.Grid{}, fmt.Errorf("-grid %q: want RxC", spec)
+	}
+	g := dist.Grid{R: r, C: c}
+	if err := g.Validate(); err != nil {
+		return dist.Grid{}, err
+	}
+	return g, nil
+}
+
+// clusterServer is the head's HTTP surface: the values endpoint of the
+// v1 API over the mesh, plus health and metrics. SVD needs the recorded
+// reflector stacks, which live only on their owning ranks, so it is
+// explicitly 501 rather than silently wrong.
+type clusterServer struct {
+	head    *cluster.Head
+	wpn     int
+	nodes   int
+	grid    dist.Grid
+	start   time.Time
+	maxBody int64
+
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+	wireBytes  atomic.Int64
+	wireFrames atomic.Int64
+	commBytes  atomic.Int64
+}
+
+func (s *clusterServer) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/singular-values", s.handleValues)
+	mux.HandleFunc("POST /v1/svd", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotImplemented,
+			errors.New("cluster mode serves /v1/singular-values only; full SVD needs single-process bidiagd"))
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// clusterJobOptions lowers wire options to a cluster job. The cluster
+// path has no planner and no bulge-chase stage choice, so any knob it
+// cannot honor is a 400, not a silent ignore.
+func clusterJobOptions(o *httpapi.Options, m, n, wpn int) (cluster.JobOptions, error) {
+	job := cluster.JobOptions{NB: 64, WorkersPerNode: wpn}
+	// Chan's operation-count rule, as in bidiag.AutoAlgorithm.
+	job.RBidiag = 3*m >= 5*n
+	if o == nil {
+		return job, nil
+	}
+	if o.Tree != "" || o.BND2BD != "" || o.Gamma != 0 || o.Window != 0 || o.Auto {
+		return job, errors.New("cluster mode supports only nb, algorithm and workers options")
+	}
+	if o.NB > 0 {
+		job.NB = o.NB
+	}
+	if o.Workers > 0 {
+		job.WorkersPerNode = o.Workers
+	}
+	switch o.Algorithm {
+	case "", "auto":
+	case "bidiag":
+		job.RBidiag = false
+	case "rbidiag":
+		job.RBidiag = true
+	default:
+		return job, fmt.Errorf("unknown algorithm %q", o.Algorithm)
+	}
+	return job, nil
+}
+
+func (s *clusterServer) handleValues(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.Job
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.M <= 0 || req.N <= 0 || len(req.Data) != req.M*req.N {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid %dx%d matrix with %d elements", req.M, req.N, len(req.Data)))
+		return
+	}
+	opt, err := clusterJobOptions(req.Options, req.M, req.N, s.wpn)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	a := nla.NewMatrix(req.M, req.N)
+	for j := 0; j < req.N; j++ {
+		copy(a.Data[j*a.LD:j*a.LD+req.M], req.Data[j*req.M:(j+1)*req.M])
+	}
+
+	begin := time.Now()
+	sv, res, err := s.head.SingularValues(a, opt)
+	if err != nil {
+		s.jobsFailed.Add(1)
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.jobsDone.Add(1)
+	s.wireBytes.Add(res.WireBytes)
+	s.wireFrames.Add(res.WireFrames)
+	s.commBytes.Add(int64(res.CommVolume))
+	ms := float64(time.Since(begin)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, httpapi.ValuesResponse{S: sv, Ms: ms})
+}
+
+func (s *clusterServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"mode":           "cluster",
+		"rank":           0,
+		"nodes":          s.nodes,
+		"grid":           fmt.Sprintf("%dx%d", s.grid.R, s.grid.C),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *clusterServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.NewRegistry()
+	counter := func(name, help string, v float64) { reg.Counter(name, help, func() float64 { return v }) }
+	reg.Gauge("bidiagd_cluster_nodes", "Processes in the mesh.", func() float64 { return float64(s.nodes) })
+	reg.Gauge("bidiagd_uptime_seconds", "Seconds since the head started.", func() float64 { return time.Since(s.start).Seconds() })
+	reg.LabeledCounter("bidiagd_cluster_jobs_total", "Cluster jobs by outcome.", func() []obs.LabeledValue {
+		return []obs.LabeledValue{
+			{Label: `result="done"`, Value: float64(s.jobsDone.Load())},
+			{Label: `result="failed"`, Value: float64(s.jobsFailed.Load())},
+		}
+	})
+	counter("bidiagd_cluster_wire_bytes_total", "Bytes the head put on the wire, framing included.", float64(s.wireBytes.Load()))
+	counter("bidiagd_cluster_wire_frames_total", "Frames the head put on the wire.", float64(s.wireFrames.Load()))
+	counter("bidiagd_cluster_comm_bytes_total", "Modeled communication volume sent by the head (matches SimulateDistributed).", float64(s.commBytes.Load()))
+	reg.ServeHTTP(w, r)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag/client"
+	"github.com/tiled-la/bidiag/httpapi"
+	"github.com/tiled-la/bidiag/internal/cluster"
+	"github.com/tiled-la/bidiag/internal/dist"
+)
+
+func TestParseGrid(t *testing.T) {
+	g, err := parseGrid("", 3)
+	if err != nil || g.R != 3 || g.C != 1 {
+		t.Fatalf("default grid: %+v %v", g, err)
+	}
+	g, err = parseGrid("2x3", 6)
+	if err != nil || g.R != 2 || g.C != 3 {
+		t.Fatalf("2x3: %+v %v", g, err)
+	}
+	for _, bad := range []string{"2", "x", "0x2", "-1x3"} {
+		if _, err := parseGrid(bad, 4); err == nil {
+			t.Fatalf("grid %q accepted", bad)
+		}
+	}
+}
+
+func TestClusterJobOptions(t *testing.T) {
+	// Chan's rule: 192x64 prefers rbidiag, 96x96 does not.
+	job, err := clusterJobOptions(nil, 192, 64, 2)
+	if err != nil || !job.RBidiag || job.NB != 64 || job.WorkersPerNode != 2 {
+		t.Fatalf("tall default: %+v %v", job, err)
+	}
+	job, err = clusterJobOptions(nil, 96, 96, 1)
+	if err != nil || job.RBidiag {
+		t.Fatalf("square default: %+v %v", job, err)
+	}
+	job, err = clusterJobOptions(&httpapi.Options{NB: 16, Algorithm: "rbidiag", Workers: 3}, 96, 96, 1)
+	if err != nil || !job.RBidiag || job.NB != 16 || job.WorkersPerNode != 3 {
+		t.Fatalf("explicit: %+v %v", job, err)
+	}
+	if _, err := clusterJobOptions(&httpapi.Options{Tree: "greedy"}, 96, 96, 1); err == nil {
+		t.Fatal("unsupported tree knob accepted")
+	}
+	if _, err := clusterJobOptions(&httpapi.Options{Algorithm: "bogus"}, 96, 96, 1); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+// TestClusterHTTPSurface runs the head's HTTP handlers against an
+// in-process mesh (head + 1 peer over a ChanTransport) and checks the
+// values endpoint against the single-process daemon, plus the 501 SVD
+// stub and the health/metrics documents.
+func TestClusterHTTPSurface(t *testing.T) {
+	grid := dist.Grid{R: 2, C: 1}
+	tr := dist.NewChanTransport(grid.Nodes())
+	defer tr.Close()
+	var peerWG sync.WaitGroup
+	peerWG.Add(1)
+	var peerErr error
+	go func() {
+		defer peerWG.Done()
+		peerErr = cluster.ServePeer(cluster.Config{Grid: grid, Transport: tr, Rank: 1, StallTimeout: 30 * time.Second})
+	}()
+	head, err := cluster.NewHead(cluster.Config{Grid: grid, Transport: tr, Rank: 0, StallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &clusterServer{head: head, wpn: 2, nodes: 2, grid: grid, start: time.Now(), maxBody: defaultMaxBody}
+	ts := httptest.NewServer(h.mux())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212, Options: &httpapi.Options{NB: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
+		t.Fatalf("cluster s = %v, want [2 1]", out.S)
+	}
+
+	// SVD is deliberately unimplemented in cluster mode.
+	var apiErr *client.APIError
+	if _, err := cl.PostSVD(context.Background(), httpapi.Job{Matrix: diag212}, false); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotImplemented {
+		t.Fatalf("cluster SVD: %v, want 501", err)
+	}
+	// Unhonorable knobs are rejected, not ignored.
+	if _, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212, Options: &httpapi.Options{Auto: true}}, false); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("auto knob in cluster mode: %v, want 400", err)
+	}
+
+	health, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health["mode"] != "cluster" || health["nodes"].(float64) != 2 {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{
+		"bidiagd_cluster_nodes 2",
+		`bidiagd_cluster_jobs_total{result="done"} 1`,
+		"bidiagd_cluster_comm_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("cluster metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	if err := head.Close(); err != nil {
+		t.Fatal(err)
+	}
+	peerWG.Wait()
+	if peerErr != nil {
+		t.Fatalf("peer: %v", peerErr)
+	}
+}

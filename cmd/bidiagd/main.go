@@ -58,7 +58,23 @@ func main() {
 	maxBodyMB := flag.Int64("max-body-mb", 0, "largest accepted request body in MiB (0: default 32)")
 	profiles := flag.String("profiles", "", "persist plan-autotuner profiles at this path so restarts keep promoted plans (empty: in-memory only)")
 	planSamples := flag.Int("plan-min-samples", 0, "measured runs per candidate before a plan is promoted (0: default 3, negative: never promote)")
+	node := flag.Int("node", -1, "cluster mode: this process's rank in -peers (rank 0 serves HTTP, others compute)")
+	peers := flag.String("peers", "", "cluster mode: comma-separated mesh addresses, one per rank (index = rank)")
+	gridSpec := flag.String("grid", "", "cluster mode: process grid as RxC (default: Nx1 over the peer list)")
+	stall := flag.Duration("stall", 2*time.Minute, "cluster mode: fail a job when no task progresses for this long (0 disables)")
 	flag.Parse()
+
+	if *node >= 0 || *peers != "" {
+		if *node < 0 || *peers == "" {
+			fmt.Fprintln(os.Stderr, "cluster mode needs both -node and -peers")
+			os.Exit(1)
+		}
+		if err := runCluster(*node, *peers, *gridSpec, *addr, *workers, *stall, *maxBodyMB<<20); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB < 0 {

@@ -12,103 +12,9 @@ import (
 	"time"
 
 	"github.com/tiled-la/bidiag"
+	"github.com/tiled-la/bidiag/httpapi"
 	"github.com/tiled-la/bidiag/internal/obs"
 )
-
-// matrixJSON is the wire form of a dense matrix: column-major data, so
-// data[i + j*m] is element (i, j).
-type matrixJSON struct {
-	M    int       `json:"m"`
-	N    int       `json:"n"`
-	Data []float64 `json:"data"`
-}
-
-// optionsJSON is the wire subset of bidiag.Options a job may set. The
-// service runs shared-memory only, so there is no distributed knob.
-type optionsJSON struct {
-	NB        int    `json:"nb,omitempty"`
-	Tree      string `json:"tree,omitempty"`      // auto | flatts | flattt | greedy
-	Algorithm string `json:"algorithm,omitempty"` // auto | bidiag | rbidiag
-	Workers   int    `json:"workers,omitempty"`
-	Gamma     int    `json:"gamma,omitempty"`
-	BND2BD    string `json:"bnd2bd,omitempty"` // auto | pipelined | sequential
-	Window    int    `json:"window,omitempty"`
-	// Auto defers every unset knob to the service's plan autotuner
-	// (bidiag.Options.Auto); set knobs are honored as pins. A request
-	// with NO options object at all is planned the same way.
-	Auto bool `json:"auto,omitempty"`
-}
-
-type jobJSON struct {
-	matrixJSON
-	// Options is a pointer so an options-free request is distinguishable
-	// from an explicitly empty one: absent options mean "planner
-	// decides" (Options.Auto), while {} keeps the library defaults.
-	Options *optionsJSON `json:"options"`
-}
-
-type valuesResponse struct {
-	S        []float64 `json:"s"`
-	CacheHit bool      `json:"cache_hit"`
-	Ms       float64   `json:"ms"`
-	// JobID is set for traced requests (?trace=1): the job's timeline is
-	// then available at /debug/trace/{job_id}.
-	JobID string `json:"job_id,omitempty"`
-}
-
-type svdResponse struct {
-	U        matrixJSON `json:"u"`
-	S        []float64  `json:"s"`
-	V        matrixJSON `json:"v"`
-	CacheHit bool       `json:"cache_hit"`
-	Ms       float64    `json:"ms"`
-	JobID    string     `json:"job_id,omitempty"`
-}
-
-// toOptions lowers the wire options to bidiag.Options via the library's
-// parse helpers (one shared validation path). A nil receiver is an
-// options-free request: everything defers to the planner.
-func (o *optionsJSON) toOptions() (*bidiag.Options, error) {
-	if o == nil {
-		return &bidiag.Options{Auto: true}, nil
-	}
-	opts := &bidiag.Options{
-		NB: o.NB, Workers: o.Workers, Gamma: o.Gamma,
-		BND2BDWindow: o.Window, Auto: o.Auto,
-	}
-	var err error
-	if opts.Tree, err = bidiag.ParseTree(o.Tree); err != nil {
-		return nil, err
-	}
-	if opts.Algorithm, err = bidiag.ParseAlgorithm(o.Algorithm); err != nil {
-		return nil, err
-	}
-	if opts.BND2BD, err = bidiag.ParseBND2BD(o.BND2BD); err != nil {
-		return nil, err
-	}
-	return opts, nil
-}
-
-func (m matrixJSON) toDense() (*bidiag.Dense, error) {
-	if m.M <= 0 || m.N <= 0 {
-		return nil, fmt.Errorf("invalid shape %dx%d", m.M, m.N)
-	}
-	if len(m.Data) != m.M*m.N {
-		return nil, fmt.Errorf("shape %dx%d needs %d elements, got %d", m.M, m.N, m.M*m.N, len(m.Data))
-	}
-	return bidiag.NewDenseFromColMajor(m.M, m.N, m.Data)
-}
-
-func denseJSON(d *bidiag.Dense) matrixJSON {
-	m, n := d.Rows(), d.Cols()
-	data := make([]float64, m*n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < m; i++ {
-			data[i+j*m] = d.At(i, j)
-		}
-	}
-	return matrixJSON{M: m, N: n, Data: data}
-}
 
 // server is the daemon's HTTP surface over one bidiag.Service. Every
 // server owns its metrics and trace store outright — two servers in one
@@ -291,7 +197,7 @@ func (s *server) handleSVD(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.JobKind) {
-	var req jobJSON
+	var req httpapi.Job
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(&req); err != nil {
@@ -304,12 +210,12 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.J
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	a, err := req.toDense()
+	a, err := req.Dense()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts, err := req.Options.toOptions()
+	opts, err := req.Options.ToOptions()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -349,13 +255,13 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request, kind bidiag.J
 		jobID = s.traces.put(res.Timeline)
 	}
 	if kind == bidiag.JobSVD {
-		writeJSON(w, http.StatusOK, svdResponse{
-			U: denseJSON(res.SVD.U), S: res.SVD.S, V: denseJSON(res.SVD.V),
+		writeJSON(w, http.StatusOK, httpapi.SVDResponse{
+			U: httpapi.FromDense(res.SVD.U), S: res.SVD.S, V: httpapi.FromDense(res.SVD.V),
 			CacheHit: res.CacheHit, Ms: ms, JobID: jobID,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, valuesResponse{S: res.Values, CacheHit: res.CacheHit, Ms: ms, JobID: jobID})
+	writeJSON(w, http.StatusOK, httpapi.ValuesResponse{S: res.Values, CacheHit: res.CacheHit, Ms: ms, JobID: jobID})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -367,7 +273,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, httpapi.ErrorResponse{Error: err.Error()})
 }
 
 // traceStoreCap bounds how many finished job timelines a server retains

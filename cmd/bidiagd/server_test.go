@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
@@ -13,6 +15,8 @@ import (
 	"time"
 
 	"github.com/tiled-la/bidiag"
+	"github.com/tiled-la/bidiag/client"
+	"github.com/tiled-la/bidiag/httpapi"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *bidiag.Service) {
@@ -23,31 +27,14 @@ func testServer(t *testing.T) (*httptest.Server, *bidiag.Service) {
 	return ts, svc
 }
 
-func post(t *testing.T, url string, body any) *http.Response {
-	t.Helper()
-	blob, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp
-}
-
 // diag212 is the 3x2 matrix with diagonal (1, 2): singular values 2, 1.
-var diag212 = matrixJSON{M: 3, N: 2, Data: []float64{1, 0, 0, 0, 2, 0}}
+var diag212 = httpapi.Matrix{M: 3, N: 2, Data: []float64{1, 0, 0, 0, 2, 0}}
 
 func TestSingularValuesEndpoint(t *testing.T) {
 	ts, _ := testServer(t)
-	resp := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	var out valuesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	cl := client.New(ts.URL)
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
@@ -55,10 +42,8 @@ func TestSingularValuesEndpoint(t *testing.T) {
 	}
 
 	// The same request again is a cache hit.
-	resp2 := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
-	defer resp2.Body.Close()
-	var out2 valuesResponse
-	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+	out2, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !out2.CacheHit {
@@ -66,15 +51,38 @@ func TestSingularValuesEndpoint(t *testing.T) {
 	}
 }
 
+// TestClientMirrorsService checks the Dense-based client entry points —
+// the ones mirroring bidiag.Service — against a direct library run.
+func TestClientMirrorsService(t *testing.T) {
+	ts, _ := testServer(t)
+	cl := client.New(ts.URL)
+	a, err := diag212.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.SingularValues(context.Background(), a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bidiag.SingularValues(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != len(want) {
+		t.Fatalf("%d singular values, want %d", len(out.S), len(want))
+	}
+	for i := range want {
+		if math.Abs(out.S[i]-want[i]) > 1e-12 {
+			t.Fatalf("s[%d] = %v, want %v", i, out.S[i], want[i])
+		}
+	}
+}
+
 func TestSVDEndpoint(t *testing.T) {
 	ts, _ := testServer(t)
-	resp := post(t, ts.URL+"/v1/svd", jobJSON{matrixJSON: diag212})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	var out svdResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	cl := client.New(ts.URL)
+	out, err := cl.PostSVD(context.Background(), httpapi.Job{Matrix: diag212}, false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
@@ -100,19 +108,23 @@ func TestSVDEndpoint(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	ts, _ := testServer(t)
+	cl := client.New(ts.URL)
 	for _, tc := range []struct {
 		name string
-		body any
+		job  httpapi.Job
 	}{
-		{"short data", matrixJSON{M: 4, N: 4, Data: []float64{1}}},
-		{"zero shape", matrixJSON{M: 0, N: 3}},
-		{"bad tree", jobJSON{matrixJSON: diag212, Options: &optionsJSON{Tree: "bogus"}}},
-		{"bad bnd2bd", jobJSON{matrixJSON: diag212, Options: &optionsJSON{BND2BD: "bogus"}}},
+		{"short data", httpapi.Job{Matrix: httpapi.Matrix{M: 4, N: 4, Data: []float64{1}}}},
+		{"zero shape", httpapi.Job{Matrix: httpapi.Matrix{M: 0, N: 3}}},
+		{"bad tree", httpapi.Job{Matrix: diag212, Options: &httpapi.Options{Tree: "bogus"}}},
+		{"bad bnd2bd", httpapi.Job{Matrix: diag212, Options: &httpapi.Options{BND2BD: "bogus"}}},
 	} {
-		resp := post(t, ts.URL+"/v1/singular-values", tc.body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		_, err := cl.PostValues(context.Background(), tc.job, false)
+		if !errors.Is(err, client.ErrBadRequest) {
+			t.Fatalf("%s: err %v, want ErrBadRequest", tc.name, err)
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Message == "" {
+			t.Fatalf("%s: error carries no server message: %v", tc.name, err)
 		}
 	}
 	resp, err := http.Post(ts.URL+"/v1/svd", "application/json", bytes.NewReader([]byte("{not json")))
@@ -127,44 +139,29 @@ func TestBadRequests(t *testing.T) {
 
 func TestHealthzAndMetrics(t *testing.T) {
 	ts, _ := testServer(t)
-	post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
-
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
+	cl := client.New(ts.URL)
+	if _, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false); err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var health map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+
+	health, err := cl.Healthz(context.Background())
+	if err != nil {
 		t.Fatal(err)
 	}
 	if health["status"] != "ok" {
 		t.Fatalf("healthz: %v", health)
 	}
 
-	vresp, err := http.Get(ts.URL + "/debug/vars")
+	stats, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer vresp.Body.Close()
-	var vars map[string]json.RawMessage
-	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
-		t.Fatal(err)
-	}
-	raw, ok := vars["bidiagd"]
-	if !ok {
-		t.Fatalf("debug/vars lack the bidiagd key: have %d vars", len(vars))
-	}
-	var m map[string]any
-	if err := json.Unmarshal(raw, &m); err != nil {
-		t.Fatal(err)
-	}
-	if m["jobs_done"].(float64) < 1 {
-		t.Fatalf("debug/vars: %v", m)
+	if stats["jobs_done"].(float64) < 1 {
+		t.Fatalf("stats: %v", stats)
 	}
 	for _, key := range []string{"queue_depth", "jobs_per_second", "latency_p50_ms", "latency_p99_ms", "cache_hit_rate", "workspace_bytes"} {
-		if _, ok := m[key]; !ok {
-			t.Fatalf("debug/vars missing %q: %v", key, m)
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, stats)
 		}
 	}
 }
@@ -173,7 +170,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 // the core series, including cumulative histogram buckets ending at +Inf.
 func TestPrometheusMetrics(t *testing.T) {
 	ts, _ := testServer(t)
-	post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
+	cl := client.New(ts.URL)
+	if _, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -214,21 +214,16 @@ func TestPrometheusMetrics(t *testing.T) {
 func TestServersAreIndependent(t *testing.T) {
 	ts1, _ := testServer(t)
 	ts2, _ := testServer(t)
-	post(t, ts1.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212}).Body.Close()
+	if _, err := client.New(ts1.URL).PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false); err != nil {
+		t.Fatal(err)
+	}
 
 	jobsDone := func(url string) float64 {
-		resp, err := http.Get(url + "/debug/vars")
+		stats, err := client.New(url).Stats(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		var vars struct {
-			Bidiagd map[string]any `json:"bidiagd"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
-			t.Fatal(err)
-		}
-		return vars.Bidiagd["jobs_done"].(float64)
+		return stats["jobs_done"].(float64)
 	}
 	if n := jobsDone(ts1.URL); n != 1 {
 		t.Fatalf("server 1 jobs_done = %v, want 1", n)
@@ -242,13 +237,9 @@ func TestServersAreIndependent(t *testing.T) {
 // Chrome-tracing JSON.
 func TestTraceRoundTrip(t *testing.T) {
 	ts, _ := testServer(t)
-	resp := post(t, ts.URL+"/v1/singular-values?trace=1", jobJSON{matrixJSON: diag212})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("traced post: status %d", resp.StatusCode)
-	}
-	var out valuesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	cl := client.New(ts.URL)
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, true)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if out.JobID == "" {
@@ -258,16 +249,12 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatal("traced job must not be served from the cache")
 	}
 
-	tresp, err := http.Get(ts.URL + "/debug/trace/" + out.JobID)
+	blob, err := cl.Trace(context.Background(), out.JobID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer tresp.Body.Close()
-	if tresp.StatusCode != http.StatusOK {
-		t.Fatalf("trace fetch: status %d", tresp.StatusCode)
-	}
 	var events []chromeEvent
-	if err := json.NewDecoder(tresp.Body).Decode(&events); err != nil {
+	if err := json.Unmarshal(blob, &events); err != nil {
 		t.Fatal(err)
 	}
 	if len(events) == 0 {
@@ -280,22 +267,16 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 
 	// Unknown IDs 404; untraced jobs get no job_id.
-	nf, err := http.Get(ts.URL + "/debug/trace/nosuch")
+	var apiErr *client.APIError
+	if _, err := cl.Trace(context.Background(), "nosuch"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown trace: %v, want 404 APIError", err)
+	}
+	plain, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nf.Body.Close()
-	if nf.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown trace: status %d, want 404", nf.StatusCode)
-	}
-	plain := post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
-	defer plain.Body.Close()
-	var pout valuesResponse
-	if err := json.NewDecoder(plain.Body).Decode(&pout); err != nil {
-		t.Fatal(err)
-	}
-	if pout.JobID != "" {
-		t.Fatalf("untraced response carries job_id %q", pout.JobID)
+	if plain.JobID != "" {
+		t.Fatalf("untraced response carries job_id %q", plain.JobID)
 	}
 }
 
@@ -336,18 +317,16 @@ func TestBodyTooLarge(t *testing.T) {
 	svc := bidiag.NewService(&bidiag.ServiceConfig{Workers: 1})
 	ts := httptest.NewServer(newMux(svc, time.Now(), 1<<10)) // 1 KiB cap
 	t.Cleanup(func() { ts.Close(); svc.Close() })
+	cl := client.New(ts.URL)
 
-	big := jobJSON{matrixJSON: matrixJSON{M: 32, N: 32, Data: make([]float64, 1024)}}
-	resp := post(t, ts.URL+"/v1/singular-values", big)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	big := httpapi.Job{Matrix: httpapi.Matrix{M: 32, N: 32, Data: make([]float64, 1024)}}
+	var apiErr *client.APIError
+	if _, err := cl.PostValues(context.Background(), big, false); !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %v, want 413 APIError", apiErr)
 	}
 	// A small request still works on the same server.
-	resp = post(t, ts.URL+"/v1/singular-values", jobJSON{matrixJSON: diag212})
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("small body after 413: status %d", resp.StatusCode)
+	if _, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false); err != nil {
+		t.Fatalf("small body after 413: %v", err)
 	}
 }
 
@@ -357,15 +336,9 @@ func TestBodyTooLarge(t *testing.T) {
 // the profile.
 func TestOptionsFreeRequestIsPlanned(t *testing.T) {
 	ts, _ := testServer(t)
-	resp := post(t, ts.URL+"/v1/singular-values", map[string]any{
-		"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 2, 0},
-	})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	var out valuesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	cl := client.New(ts.URL)
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212}, false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
@@ -428,14 +401,13 @@ func TestPlanProfilesSurviveRestart(t *testing.T) {
 
 	svc1 := bidiag.NewService(cfg)
 	ts1 := httptest.NewServer(newMux(svc1, time.Now(), 0))
+	cl1 := client.New(ts1.URL)
 	// Distinct matrices in one shape bucket: cache hits skip execution,
 	// and only executed jobs feed the tuner.
 	for i := 0; i < 6; i++ {
-		body := map[string]any{"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 2 + float64(i), 0}}
-		resp := post(t, ts1.URL+"/v1/singular-values", body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("post %d: status %d", i, resp.StatusCode)
+		job := httpapi.Job{Matrix: httpapi.Matrix{M: 3, N: 2, Data: []float64{1, 0, 0, 0, 2 + float64(i), 0}}}
+		if _, err := cl1.PostValues(context.Background(), job, false); err != nil {
+			t.Fatalf("post %d: %v", i, err)
 		}
 		if svc1.PlanCounters().Promotions > 0 {
 			break
@@ -453,12 +425,9 @@ func TestPlanProfilesSurviveRestart(t *testing.T) {
 	if svc2.PlanCounters().Loaded == 0 {
 		t.Fatal("restart did not load persisted profiles")
 	}
-	resp := post(t, ts2.URL+"/v1/singular-values", map[string]any{
-		"m": 3, "n": 2, "data": []float64{1, 0, 0, 0, 9, 0},
-	})
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("post after restart: status %d", resp.StatusCode)
+	job := httpapi.Job{Matrix: httpapi.Matrix{M: 3, N: 2, Data: []float64{1, 0, 0, 0, 9, 0}}}
+	if _, err := client.New(ts2.URL).PostValues(context.Background(), job, false); err != nil {
+		t.Fatalf("post after restart: %v", err)
 	}
 	if c := svc2.PlanCounters(); c.Tuned == 0 {
 		t.Fatalf("restarted service did not serve the tuned plan: %+v", c)
@@ -469,16 +438,9 @@ func TestPlanProfilesSurviveRestart(t *testing.T) {
 // plans around the pin rather than ignoring it.
 func TestAutoWithPinsRespectsThem(t *testing.T) {
 	ts, _ := testServer(t)
-	resp := post(t, ts.URL+"/v1/singular-values", jobJSON{
-		matrixJSON: diag212,
-		Options:    &optionsJSON{Auto: true, NB: 1},
-	})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	var out valuesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	job := httpapi.Job{Matrix: diag212, Options: &httpapi.Options{Auto: true, NB: 1}}
+	out, err := client.New(ts.URL).PostValues(context.Background(), job, false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 {
@@ -495,5 +457,19 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/svd: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestClientUnreachable pins the router's retry predicate: a dial
+// failure is classified unreachable, a served error response is not.
+func TestClientUnreachable(t *testing.T) {
+	_, err := client.New("http://127.0.0.1:1").Healthz(context.Background())
+	if err == nil || !client.IsUnreachable(err) {
+		t.Fatalf("dial failure not classified unreachable: %v", err)
+	}
+	ts, _ := testServer(t)
+	_, err = client.New(ts.URL).PostValues(context.Background(), httpapi.Job{}, false)
+	if err == nil || client.IsUnreachable(err) {
+		t.Fatalf("served 400 classified unreachable: %v", err)
 	}
 }

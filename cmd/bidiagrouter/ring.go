@@ -1,0 +1,78 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend names. Each backend
+// contributes vnodes points, so load spreads evenly and removing one
+// backend moves only the keys that pointed at it (~1/N of the space) —
+// the property that keeps repeat matrices on the node whose LRU already
+// holds their result.
+type ring struct {
+	points []ringPoint // sorted by position
+}
+
+type ringPoint struct {
+	pos     uint64
+	backend string
+}
+
+// hashPos positions a string on the ring: the first 8 bytes of its
+// sha256, so positions are stable across processes and restarts.
+func hashPos(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(backends []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	r := &ring{points: make([]ringPoint, 0, len(backends)*vnodes)}
+	for _, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: hashPos(fmt.Sprintf("%s#%d", b, v)), backend: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	return r
+}
+
+// lookup returns the backend owning key: the first point at or after the
+// key's position, wrapping at the top of the ring.
+func (r *ring) lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	pos := hashPos(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].backend
+}
+
+// sequence returns every distinct backend in ring order starting at the
+// key's owner — the router's failover order, so retries of one key
+// always walk the same backend list.
+func (r *ring) sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	pos := hashPos(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(r.points); i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+// Package cluster runs GE2BND singular-value jobs across a mesh of
+// processes, one rank per grid node, over a persistent dist.Transport.
+//
+// The model is SPMD with a head: rank 0 (the Head) accepts jobs, ships
+// each one — problem spec plus the full input matrix — to every peer as
+// an out-of-band control frame, and all ranks then build the identical
+// task graph over their own replica and run their owned share through
+// dist.ExecuteNode. The end-of-job gather leaves rank 0 holding the
+// complete band result, bitwise-identical to a sequential run; the head
+// finishes the job locally (band reduction + bidiagonal QR iteration)
+// and returns the singular values.
+//
+// Jobs are serialized: one at a time across the whole mesh, enforced by
+// the Head's mutex. The frame-quiescence property of dist.ExecuteNode
+// (every frame of job J is consumed before J completes on each rank)
+// makes the serialized reuse of one mesh safe without any extra barrier.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/band"
+	"github.com/tiled-la/bidiag/internal/bdsqr"
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+)
+
+// Config describes one rank's attachment to the mesh.
+type Config struct {
+	// Grid is the process grid; the mesh spans Grid.Nodes() ranks.
+	Grid dist.Grid
+	// Transport is this rank's mesh endpoint (required). The cluster
+	// layer never closes it; the owner does.
+	Transport dist.Transport
+	// Rank is this process's node id in [0, Grid.Nodes()).
+	Rank int
+	// StallTimeout is handed to dist.ExecuteNode (0 disables the
+	// watchdog).
+	StallTimeout time.Duration
+}
+
+func (c *Config) validate() error {
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.Rank < 0 || c.Rank >= c.Grid.Nodes() {
+		return fmt.Errorf("cluster: rank %d outside %s grid", c.Rank, c.Grid)
+	}
+	if c.Transport == nil {
+		return fmt.Errorf("cluster: config requires a transport")
+	}
+	return nil
+}
+
+// jobSpec is the control-frame header: everything a peer needs to build
+// the same graph the head builds. The matrix data follows it raw.
+type jobSpec struct {
+	Op      string `json:"op"` // "job" or "shutdown"
+	M       int    `json:"m,omitempty"`
+	N       int    `json:"n,omitempty"`
+	NB      int    `json:"nb,omitempty"`
+	RBidiag bool   `json:"rbidiag,omitempty"`
+	// WPN is the workers-per-node every rank must use: the tree
+	// configuration derives from the core count, so it is part of the
+	// SPMD contract, not a local tuning knob.
+	WPN   int `json:"wpn"`
+	GridR int `json:"gridR"`
+	GridC int `json:"gridC"`
+}
+
+const (
+	opJob      = "job"
+	opShutdown = "shutdown"
+)
+
+// encodeJob frames a spec and (for jobs) the column-major matrix data:
+// u32 JSON length | JSON | float64 little-endian data.
+func encodeJob(spec jobSpec, a *nla.Matrix) ([]byte, error) {
+	hdr, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	if a != nil {
+		for j := 0; j < a.Cols; j++ {
+			for i := 0; i < a.Rows; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.At(i, j)))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// decodeJob is the inverse of encodeJob.
+func decodeJob(payload []byte) (jobSpec, *nla.Matrix, error) {
+	var spec jobSpec
+	if len(payload) < 4 {
+		return spec, nil, fmt.Errorf("cluster: control frame too short (%d bytes)", len(payload))
+	}
+	hl := binary.LittleEndian.Uint32(payload)
+	if uint64(4+hl) > uint64(len(payload)) {
+		return spec, nil, fmt.Errorf("cluster: control header length %d exceeds frame", hl)
+	}
+	if err := json.Unmarshal(payload[4:4+hl], &spec); err != nil {
+		return spec, nil, fmt.Errorf("cluster: control header: %w", err)
+	}
+	rest := payload[4+hl:]
+	if spec.Op != opJob {
+		return spec, nil, nil
+	}
+	if spec.M <= 0 || spec.N <= 0 || spec.NB <= 0 {
+		return spec, nil, fmt.Errorf("cluster: invalid job shape %dx%d nb %d", spec.M, spec.N, spec.NB)
+	}
+	if want := 8 * spec.M * spec.N; len(rest) != want {
+		return spec, nil, fmt.Errorf("cluster: job carries %d data bytes, want %d", len(rest), want)
+	}
+	a := nla.NewMatrix(spec.M, spec.N)
+	for j := 0; j < spec.N; j++ {
+		for i := 0; i < spec.M; i++ {
+			a.Data[i+j*a.LD] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+	}
+	return spec, a, nil
+}
+
+// buildJob constructs the SPMD graph for a spec over a local matrix copy
+// and returns the graph plus the tile matrix that will hold the band
+// result.
+func buildJob(spec jobSpec, a *nla.Matrix, grid dist.Grid) (*sched.Graph, *tile.Matrix) {
+	sh := core.ShapeOf(spec.M, spec.N, spec.NB)
+	cfg := dist.AutoDefaults(sh, grid, spec.WPN).Configure()
+	g := sched.NewGraph()
+	data := tile.FromDense(a, spec.NB)
+	if spec.RBidiag {
+		_, r, _ := core.BuildRBidiag(g, sh, data, cfg)
+		return g, r
+	}
+	core.BuildBidiag(g, sh, data, cfg)
+	return g, data
+}
+
+// Head is rank 0's job front end. Safe for concurrent use; jobs execute
+// one at a time.
+type Head struct {
+	cfg Config
+	dx  *demux
+
+	mu sync.Mutex
+}
+
+// NewHead attaches a Head to rank 0 of the mesh.
+func NewHead(cfg Config) (*Head, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rank != 0 {
+		return nil, fmt.Errorf("cluster: the head must be rank 0, got %d", cfg.Rank)
+	}
+	return &Head{cfg: cfg, dx: newDemux(cfg.Transport, 0)}, nil
+}
+
+// JobOptions selects the algorithm for one job.
+type JobOptions struct {
+	// NB is the tile size (required).
+	NB int
+	// RBidiag routes the job through QR + R-bidiagonalization.
+	RBidiag bool
+	// WorkersPerNode is each rank's pool size (default 1). It is part of
+	// the job spec: the tree autotuning depends on it, so every rank
+	// must use the same value.
+	WorkersPerNode int
+}
+
+// SingularValues runs one GE2BND job across the mesh and returns the
+// singular values of a, plus rank 0's execution result (communication
+// accounting, wire stats).
+func (h *Head) SingularValues(a *nla.Matrix, opt JobOptions) ([]float64, *dist.Result, error) {
+	if a == nil || a.Rows <= 0 || a.Cols <= 0 {
+		return nil, nil, fmt.Errorf("cluster: empty matrix")
+	}
+	if a.Rows < a.Cols {
+		return nil, nil, fmt.Errorf("cluster: require m >= n (got %dx%d); factor the transpose", a.Rows, a.Cols)
+	}
+	if opt.NB <= 0 {
+		return nil, nil, fmt.Errorf("cluster: job requires a tile size")
+	}
+	wpn := opt.WorkersPerNode
+	if wpn < 1 {
+		wpn = 1
+	}
+	spec := jobSpec{
+		Op: opJob, M: a.Rows, N: a.Cols, NB: opt.NB, RBidiag: opt.RBidiag,
+		WPN: wpn, GridR: h.cfg.Grid.R, GridC: h.cfg.Grid.C,
+	}
+	payload, err := encodeJob(spec, a)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for peer := 1; peer < h.cfg.Grid.Nodes(); peer++ {
+		if err := h.dx.Send(dist.Message{From: 0, To: int32(peer), Producer: dist.ProducerControl, Payload: payload}); err != nil {
+			return nil, nil, fmt.Errorf("cluster: announcing job to rank %d: %w", peer, err)
+		}
+	}
+
+	g, out := buildJob(spec, a, h.cfg.Grid)
+	res, err := dist.ExecuteNode(g, dist.NodeOptions{
+		Grid:           h.cfg.Grid,
+		WorkersPerNode: wpn,
+		Transport:      h.dx,
+		Rank:           0,
+		Gather:         true,
+		StallTimeout:   h.cfg.StallTimeout,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	d, e := band.Reduce(out.ExtractBand(out.NB)).Bidiagonal()
+	sv, err := bdsqr.SingularValues(d, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sv, res, nil
+}
+
+// Close shuts the peers down (they return from ServePeer). The transport
+// stays open; its owner closes it.
+func (h *Head) Close() error {
+	payload, err := encodeJob(jobSpec{Op: opShutdown}, nil)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var first error
+	for peer := 1; peer < h.cfg.Grid.Nodes(); peer++ {
+		if err := h.dx.Send(dist.Message{From: 0, To: int32(peer), Producer: dist.ProducerControl, Payload: payload}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ServePeer runs one non-head rank's serve loop: wait for a job
+// announcement, rebuild the graph over the shipped input, execute this
+// rank's share, repeat. It returns nil after a shutdown frame or when
+// the mesh closes, and an error if a job fails (the head is notified
+// out-of-band by dist.ExecuteNode before that error returns).
+func ServePeer(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.Rank == 0 {
+		return fmt.Errorf("cluster: rank 0 is the head; use NewHead")
+	}
+	dx := newDemux(cfg.Transport, int32(cfg.Rank))
+	for {
+		msg, ok := <-dx.ctrl
+		if !ok {
+			return nil // mesh closed
+		}
+		spec, a, err := decodeJob(msg.Payload)
+		if err != nil {
+			// A malformed announcement fails this job for the whole
+			// mesh: tell the head rather than letting it stall out.
+			dx.Send(dist.Message{From: int32(cfg.Rank), To: 0, Producer: dist.ProducerError, Payload: []byte(err.Error())})
+			return err
+		}
+		if spec.Op == opShutdown {
+			return nil
+		}
+		if spec.GridR != cfg.Grid.R || spec.GridC != cfg.Grid.C {
+			err := fmt.Errorf("cluster: rank %d on grid %s got a job for grid %dx%d", cfg.Rank, cfg.Grid, spec.GridR, spec.GridC)
+			dx.Send(dist.Message{From: int32(cfg.Rank), To: 0, Producer: dist.ProducerError, Payload: []byte(err.Error())})
+			return err
+		}
+		g, _ := buildJob(spec, a, cfg.Grid)
+		if _, err := dist.ExecuteNode(g, dist.NodeOptions{
+			Grid:           cfg.Grid,
+			WorkersPerNode: spec.WPN,
+			Transport:      dx,
+			Rank:           cfg.Rank,
+			Gather:         true,
+			StallTimeout:   cfg.StallTimeout,
+		}); err != nil {
+			return err
+		}
+	}
+}

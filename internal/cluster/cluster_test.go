@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/band"
+	"github.com/tiled-la/bidiag/internal/bdsqr"
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+)
+
+// sequentialSV computes the reference singular values through the same
+// graph + band path the cluster uses, on one address space.
+func sequentialSV(t *testing.T, a *nla.Matrix, spec jobSpec, grid dist.Grid) []float64 {
+	t.Helper()
+	g, out := buildJob(spec, a, grid)
+	if err := g.RunSequential(); err != nil {
+		t.Fatal(err)
+	}
+	d, e := band.Reduce(out.ExtractBand(out.NB)).Bidiagonal()
+	sv, err := bdsqr.SingularValues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+// TestClusterSingularValues boots a head plus peers on one in-process
+// mesh and pushes several jobs through back to back — mixed algorithms
+// and shapes, exercising mesh reuse — checking every result bitwise
+// against the sequential reference.
+func TestClusterSingularValues(t *testing.T) {
+	grid := dist.Grid{R: 2, C: 2}
+	n := grid.Nodes()
+	tr := dist.NewChanTransport(n)
+	defer tr.Close()
+
+	var peers sync.WaitGroup
+	peerErr := make([]error, n)
+	for rank := 1; rank < n; rank++ {
+		peers.Add(1)
+		go func(rank int) {
+			defer peers.Done()
+			peerErr[rank] = ServePeer(Config{Grid: grid, Transport: tr, Rank: rank, StallTimeout: 30 * time.Second})
+		}(rank)
+	}
+	head, err := NewHead(Config{Grid: grid, Transport: tr, Rank: 0, StallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := []struct {
+		m, n    int
+		opt     JobOptions
+		rbidiag bool
+	}{
+		{96, 96, JobOptions{NB: 16, WorkersPerNode: 2}, false},
+		{192, 64, JobOptions{NB: 16, RBidiag: true, WorkersPerNode: 2}, true},
+		{80, 80, JobOptions{NB: 16, WorkersPerNode: 1}, false},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i, job := range jobs {
+		a := nla.RandomMatrix(rng, job.m, job.n)
+		sv, res, err := head.SingularValues(a, job.opt)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		wpn := job.opt.WorkersPerNode
+		if wpn < 1 {
+			wpn = 1
+		}
+		spec := jobSpec{
+			Op: opJob, M: job.m, N: job.n, NB: job.opt.NB, RBidiag: job.rbidiag,
+			WPN: wpn, GridR: grid.R, GridC: grid.C,
+		}
+		ref := sequentialSV(t, a, spec, grid)
+		if len(sv) != len(ref) {
+			t.Fatalf("job %d: %d singular values, want %d", i, len(sv), len(ref))
+		}
+		for k := range ref {
+			if sv[k] != ref[k] {
+				t.Fatalf("job %d: singular value %d differs: %v != %v", i, k, sv[k], ref[k])
+			}
+		}
+		if res.CommCount == 0 {
+			t.Fatalf("job %d: no communication on a %d-rank mesh", i, n)
+		}
+	}
+
+	if err := head.Close(); err != nil {
+		t.Fatal(err)
+	}
+	peers.Wait()
+	for rank := 1; rank < n; rank++ {
+		if peerErr[rank] != nil {
+			t.Fatalf("peer %d: %v", rank, peerErr[rank])
+		}
+	}
+}
+
+// TestClusterJobCodec round-trips the control-frame encoding.
+func TestClusterJobCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := nla.RandomMatrix(rng, 7, 5)
+	spec := jobSpec{Op: opJob, M: 7, N: 5, NB: 4, RBidiag: true, WPN: 3, GridR: 2, GridC: 1}
+	buf, err := encodeJob(spec, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, b, err := decodeJob(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Fatalf("spec mismatch: %+v != %+v", got, spec)
+	}
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 7; i++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("data mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Shutdown frames carry no data.
+	sbuf, err := encodeJob(jobSpec{Op: opShutdown}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, m, err := decodeJob(sbuf)
+	if err != nil || s.Op != opShutdown || m != nil {
+		t.Fatalf("shutdown decode: %+v %v %v", s, m, err)
+	}
+	// Truncated data must error, not build a short matrix.
+	if _, _, err := decodeJob(buf[:len(buf)-8]); err == nil {
+		t.Fatal("truncated job accepted")
+	}
+}
+
+// TestClusterOverTCP is the end-to-end transport stack: head and peers on
+// real loopback TCP transports, one job, bitwise-checked.
+func TestClusterOverTCP(t *testing.T) {
+	grid := dist.Grid{R: 2, C: 1}
+	trs := tcpPair(t)
+
+	var peers sync.WaitGroup
+	var peerErr error
+	peers.Add(1)
+	go func() {
+		defer peers.Done()
+		peerErr = ServePeer(Config{Grid: grid, Transport: trs[1], Rank: 1, StallTimeout: 30 * time.Second})
+	}()
+	head, err := NewHead(Config{Grid: grid, Transport: trs[0], Rank: 0, StallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := nla.RandomMatrix(rng, 96, 96)
+	opt := JobOptions{NB: 16, WorkersPerNode: 2}
+	sv, res, err := head.SingularValues(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WireBytes == 0 {
+		t.Fatal("TCP run reported no wire bytes")
+	}
+	spec := jobSpec{Op: opJob, M: 96, N: 96, NB: 16, WPN: 2, GridR: 2, GridC: 1}
+	ref := sequentialSV(t, a, spec, grid)
+	for k := range ref {
+		if sv[k] != ref[k] {
+			t.Fatalf("singular value %d differs over TCP: %v != %v", k, sv[k], ref[k])
+		}
+	}
+	if err := head.Close(); err != nil {
+		t.Fatal(err)
+	}
+	peers.Wait()
+	if peerErr != nil {
+		t.Fatalf("peer: %v", peerErr)
+	}
+}
+
+// tcpPair brings up a two-rank loopback TCP mesh.
+func tcpPair(t *testing.T) []*dist.TCPTransport {
+	t.Helper()
+	trs, err := dist.LoopbackTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+var _ = []interface{}{sched.NewGraph, tile.FromDense} // keep imports honest during refactors

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"github.com/tiled-la/bidiag/internal/dist"
+)
+
+// demux splits one rank's receive stream into a control plane and a job
+// plane. The split is what makes back-to-back jobs race-free: at a job
+// boundary the executor's receiver and the serve loop would otherwise
+// contend for the same channel, and a select racing a just-arrived
+// control frame against the executor's stop signal could steal the next
+// job's announcement into the dying receiver. With the demux, control
+// frames never enter the stream dist.ExecuteNode consumes.
+//
+// Both planes buffer without bound in the pump below. That is deliberate:
+// a peer may legitimately receive another rank's first data frames for
+// job J+1 before it has read its own control frame for J+1 (the peers
+// start jobs at slightly different times), and a bounded job queue would
+// let that head-of-line block the control frame still behind it in the
+// shared inbox.
+type demux struct {
+	tr   dist.Transport
+	rank int32
+	ctrl chan dist.Message
+	job  chan dist.Message
+}
+
+func newDemux(tr dist.Transport, rank int32) *demux {
+	d := &demux{
+		tr:   tr,
+		rank: rank,
+		ctrl: make(chan dist.Message),
+		job:  make(chan dist.Message),
+	}
+	go d.pump()
+	return d
+}
+
+func (d *demux) pump() {
+	in := d.tr.Recv(d.rank)
+	var ctrlQ, jobQ []dist.Message
+	for {
+		var ctrlOut, jobOut chan dist.Message
+		var ctrlHead, jobHead dist.Message
+		if len(ctrlQ) > 0 {
+			ctrlOut, ctrlHead = d.ctrl, ctrlQ[0]
+		}
+		if len(jobQ) > 0 {
+			jobOut, jobHead = d.job, jobQ[0]
+		}
+		if in == nil && ctrlOut == nil && jobOut == nil {
+			close(d.ctrl)
+			close(d.job)
+			return
+		}
+		select {
+		case msg, ok := <-in:
+			if !ok {
+				in = nil
+				continue
+			}
+			if msg.Producer == dist.ProducerControl {
+				ctrlQ = append(ctrlQ, msg)
+			} else {
+				jobQ = append(jobQ, msg)
+			}
+		case ctrlOut <- ctrlHead:
+			ctrlQ = ctrlQ[1:]
+		case jobOut <- jobHead:
+			jobQ = jobQ[1:]
+		}
+	}
+}
+
+// Send implements dist.Transport.
+func (d *demux) Send(msg dist.Message) error { return d.tr.Send(msg) }
+
+// Recv implements dist.Transport: the job plane, for dist.ExecuteNode.
+func (d *demux) Recv(node int32) <-chan dist.Message {
+	if node != d.rank {
+		return nil
+	}
+	return d.job
+}
+
+// WireStats forwards the inner transport's wire accounting when it has
+// any (TCPTransport), so dist.ExecuteNode sees through the demux.
+func (d *demux) WireStats() (frames, wireBytes, payloadBytes int64) {
+	if ws, ok := d.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
+		return ws.WireStats()
+	}
+	return 0, 0, 0
+}
+
+// Close implements dist.Transport by closing the underlying mesh; the
+// pump then drains and closes both planes.
+func (d *demux) Close() error { return d.tr.Close() }

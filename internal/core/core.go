@@ -165,6 +165,7 @@ func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *build
 				whole := g.NewHandle(int32(8*r*c), owner)
 				if data != nil {
 					whole.SetPayload(regionPayload(data.Tile(i, j), regWhole))
+					whole.SetRestore(regionRestore(data.Tile(i, j), regWhole))
 				}
 				b.h[base+regDiag] = whole
 				b.h[base+regUpper] = whole
@@ -180,6 +181,9 @@ func newBuilder(g *sched.Graph, sh Shape, data *tile.Matrix, cfg *Config) *build
 				b.h[base+regDiag].SetPayload(regionPayload(tl, regDiag))
 				b.h[base+regUpper].SetPayload(regionPayload(tl, regUpper))
 				b.h[base+regLower].SetPayload(regionPayload(tl, regLower))
+				b.h[base+regDiag].SetRestore(regionRestore(tl, regDiag))
+				b.h[base+regUpper].SetRestore(regionRestore(tl, regUpper))
+				b.h[base+regLower].SetRestore(regionRestore(tl, regLower))
 			}
 		}
 	}
@@ -208,7 +212,22 @@ func (b *builder) tileAt(i, j int) *nla.Matrix {
 // update kernels in real mode.
 type geqrtOut struct {
 	t  *nla.Matrix
+	th *sched.Handle
 	kk int
+}
+
+// tfactor registers a factorization kernel's block-reflector factor T as
+// a graph handle with payload/restore serializers. In one address space T
+// flows to the update kernels through the shared heap, but across
+// processes it must ride the wire next to the reflector tile regions —
+// without a handle, a remote update would read its own never-written T
+// replica. Sim-only builds skip it (the closure holds no matrix there),
+// keeping the model graph unchanged.
+func (b *builder) tfactor(t *nla.Matrix, owner int32) *sched.Handle {
+	h := b.g.NewHandle(int32(8*t.Rows*t.Cols), owner)
+	h.SetPayload(regionPayload(t, regWhole))
+	h.SetRestore(regionRestore(t, regWhole))
+	return h
 }
 
 // qrStep emits QR step k: triangularize/eliminate column k over the rows
@@ -265,15 +284,18 @@ func (b *builder) emitGEQRT(k, i, w int) *geqrtOut {
 		t := nla.NewMatrix(kk, kk)
 		tau := make([]float64, kk)
 		out.t = t
+		out.th = b.tfactor(t, b.cfg.owner(i, k))
 		run = func(ws *nla.Workspace) { kernels.GEQRT(a, t, tau, ws) }
 		if b.rec != nil {
 			b.rec.left = append(b.rec.left, opRec{kind: recGEQRT, row: i, kk: kk, v: a, t: t})
 		}
 	}
+	deps := []sched.Access{sched.RW(b.hd(i, k)), sched.RW(b.hu(i, k)), sched.RW(b.hl(i, k))}
+	if out.th != nil {
+		deps = append(deps, sched.W(out.th))
+	}
 	b.g.AddTask(kernels.GEQRTKind, b.cfg.owner(i, k), kernels.Weight(kernels.GEQRTKind),
-		kernels.FlopsGEQRT(m, w), run,
-		sched.RW(b.hd(i, k)), sched.RW(b.hu(i, k)), sched.RW(b.hl(i, k)),
-	).SetCoords(i, k, k)
+		kernels.FlopsGEQRT(m, w), run, deps...).SetCoords(i, k, k)
 	return out
 }
 
@@ -289,11 +311,13 @@ func (b *builder) emitUNMQR(k, i, j int, fac *geqrtOut) {
 		kk := fac.kk
 		run = func(ws *nla.Workspace) { kernels.UNMQR(true, kk, v, t, c, ws) }
 	}
+	deps := []sched.Access{sched.R(b.hl(i, k))}
+	if fac.th != nil {
+		deps = append(deps, sched.R(fac.th))
+	}
+	deps = append(deps, sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)))
 	b.g.AddTask(kernels.UNMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.UNMQRKind),
-		kernels.FlopsUNMQR(m, n, fac.kk), run,
-		sched.R(b.hl(i, k)),
-		sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-	).SetCoords(i, j, k)
+		kernels.FlopsUNMQR(m, n, fac.kk), run, deps...).SetCoords(i, j, k)
 }
 
 func (b *builder) emitTS(k, piv, i, w, jmax int) {
@@ -301,22 +325,28 @@ func (b *builder) emitTS(k, piv, i, w, jmax int) {
 	m := sh.RowsOf(i)
 	b.need(kernels.TSQRTKind, m, w, 0)
 	var tsT *nla.Matrix
+	var tsTh *sched.Handle
 	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(piv, k)
 		a2 := b.tileAt(i, k)
 		tsT = nla.NewMatrix(w, w)
+		tsTh = b.tfactor(tsT, b.cfg.owner(i, k))
 		tau := make([]float64, w)
 		run = func(ws *nla.Workspace) { kernels.TSQRT(a1, a2, tsT, tau, ws) }
 		if b.rec != nil {
 			b.rec.left = append(b.rec.left, opRec{kind: recTS, piv: piv, row: i, kk: w, v: a2, t: tsT})
 		}
 	}
-	b.g.AddTask(kernels.TSQRTKind, b.cfg.owner(i, k), kernels.Weight(kernels.TSQRTKind),
-		kernels.FlopsTSQRT(m, w), run,
+	deps := []sched.Access{
 		sched.RW(b.hd(piv, k)), sched.RW(b.hu(piv, k)),
 		sched.RW(b.hd(i, k)), sched.RW(b.hu(i, k)), sched.RW(b.hl(i, k)),
-	).SetCoords(i, k, k)
+	}
+	if tsTh != nil {
+		deps = append(deps, sched.W(tsTh))
+	}
+	b.g.AddTask(kernels.TSQRTKind, b.cfg.owner(i, k), kernels.Weight(kernels.TSQRTKind),
+		kernels.FlopsTSQRT(m, w), run, deps...).SetCoords(i, k, k)
 
 	for j := k + 1; j < jmax; j++ {
 		n := sh.ColsOf(j)
@@ -329,12 +359,16 @@ func (b *builder) emitTS(k, piv, i, w, jmax int) {
 			t := tsT
 			urun = func(ws *nla.Workspace) { kernels.TSMQR(true, w, v2, t, c1, c2, ws) }
 		}
-		b.g.AddTask(kernels.TSMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMQRKind),
-			kernels.FlopsTSMQR(m, n, w), urun,
-			sched.R(b.hd(i, k)), sched.R(b.hu(i, k)), sched.R(b.hl(i, k)),
+		udeps := []sched.Access{sched.R(b.hd(i, k)), sched.R(b.hu(i, k)), sched.R(b.hl(i, k))}
+		if tsTh != nil {
+			udeps = append(udeps, sched.R(tsTh))
+		}
+		udeps = append(udeps,
 			sched.RW(b.hd(piv, j)), sched.RW(b.hu(piv, j)), sched.RW(b.hl(piv, j)),
 			sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-		).SetCoords(i, j, k)
+		)
+		b.g.AddTask(kernels.TSMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMQRKind),
+			kernels.FlopsTSMQR(m, n, w), urun, udeps...).SetCoords(i, j, k)
 	}
 }
 
@@ -342,11 +376,13 @@ func (b *builder) emitTT(k, piv, i, w, jmax int) {
 	sh := b.sh
 	b.need(kernels.TTQRTKind, w, w, 0)
 	var ttT *nla.Matrix
+	var ttTh *sched.Handle
 	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(piv, k)
 		a2 := b.tileAt(i, k)
 		ttT = nla.NewMatrix(w, w)
+		ttTh = b.tfactor(ttT, b.cfg.owner(i, k))
 		tau := make([]float64, w)
 		run = func(ws *nla.Workspace) {
 			kernels.TTQRT(a1.View(0, 0, w, w), a2.View(0, 0, min(a2.Rows, w), w), ttT, tau, ws)
@@ -355,11 +391,15 @@ func (b *builder) emitTT(k, piv, i, w, jmax int) {
 			b.rec.left = append(b.rec.left, opRec{kind: recTT, piv: piv, row: i, kk: w, v: a2, t: ttT})
 		}
 	}
-	b.g.AddTask(kernels.TTQRTKind, b.cfg.owner(i, k), kernels.Weight(kernels.TTQRTKind),
-		kernels.FlopsTTQRT(w), run,
+	deps := []sched.Access{
 		sched.RW(b.hd(piv, k)), sched.RW(b.hu(piv, k)),
 		sched.RW(b.hd(i, k)), sched.RW(b.hu(i, k)),
-	).SetCoords(i, k, k)
+	}
+	if ttTh != nil {
+		deps = append(deps, sched.W(ttTh))
+	}
+	b.g.AddTask(kernels.TTQRTKind, b.cfg.owner(i, k), kernels.Weight(kernels.TTQRTKind),
+		kernels.FlopsTTQRT(w), run, deps...).SetCoords(i, k, k)
 
 	for j := k + 1; j < jmax; j++ {
 		n := sh.ColsOf(j)
@@ -374,12 +414,16 @@ func (b *builder) emitTT(k, piv, i, w, jmax int) {
 				kernels.TTMQR(true, w, v2.View(0, 0, min(v2.Rows, w), w), t, c1, c2.View(0, 0, min(c2.Rows, w), c2.Cols), ws)
 			}
 		}
-		b.g.AddTask(kernels.TTMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMQRKind),
-			kernels.FlopsTTMQR(n, w), urun,
-			sched.R(b.hd(i, k)), sched.R(b.hu(i, k)),
+		udeps := []sched.Access{sched.R(b.hd(i, k)), sched.R(b.hu(i, k))}
+		if ttTh != nil {
+			udeps = append(udeps, sched.R(ttTh))
+		}
+		udeps = append(udeps,
 			sched.RW(b.hd(piv, j)), sched.RW(b.hu(piv, j)), sched.RW(b.hl(piv, j)),
 			sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-		).SetCoords(i, j, k)
+		)
+		b.g.AddTask(kernels.TTMQRKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMQRKind),
+			kernels.FlopsTTMQR(n, w), urun, udeps...).SetCoords(i, j, k)
 	}
 }
 
@@ -437,15 +481,18 @@ func (b *builder) emitGELQT(k, j, h int) *geqrtOut {
 		t := nla.NewMatrix(kk, kk)
 		tau := make([]float64, kk)
 		out.t = t
+		out.th = b.tfactor(t, b.cfg.owner(k, j))
 		run = func(ws *nla.Workspace) { kernels.GELQT(a, t, tau, ws) }
 		if b.rec != nil {
 			b.rec.right = append(b.rec.right, opRec{kind: recGELQT, row: j, kk: kk, v: a, t: t})
 		}
 	}
+	deps := []sched.Access{sched.RW(b.hd(k, j)), sched.RW(b.hu(k, j)), sched.RW(b.hl(k, j))}
+	if out.th != nil {
+		deps = append(deps, sched.W(out.th))
+	}
 	b.g.AddTask(kernels.GELQTKind, b.cfg.owner(k, j), kernels.Weight(kernels.GELQTKind),
-		kernels.FlopsGELQT(h, n), run,
-		sched.RW(b.hd(k, j)), sched.RW(b.hu(k, j)), sched.RW(b.hl(k, j)),
-	).SetCoords(k, j, k)
+		kernels.FlopsGELQT(h, n), run, deps...).SetCoords(k, j, k)
 	return out
 }
 
@@ -461,11 +508,13 @@ func (b *builder) emitUNMLQ(k, i, j int, fac *geqrtOut) {
 		kk := fac.kk
 		run = func(ws *nla.Workspace) { kernels.UNMLQ(true, kk, v, t, c, ws) }
 	}
+	deps := []sched.Access{sched.R(b.hu(k, j))}
+	if fac.th != nil {
+		deps = append(deps, sched.R(fac.th))
+	}
+	deps = append(deps, sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)))
 	b.g.AddTask(kernels.UNMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.UNMLQKind),
-		kernels.FlopsUNMLQ(m, n, fac.kk), run,
-		sched.R(b.hu(k, j)),
-		sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-	).SetCoords(i, j, k)
+		kernels.FlopsUNMLQ(m, n, fac.kk), run, deps...).SetCoords(i, j, k)
 }
 
 func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
@@ -473,22 +522,28 @@ func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
 	n := sh.ColsOf(j)
 	b.need(kernels.TSLQTKind, h, n, 0)
 	var tsT *nla.Matrix
+	var tsTh *sched.Handle
 	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(k, piv)
 		a2 := b.tileAt(k, j)
 		tsT = nla.NewMatrix(h, h)
+		tsTh = b.tfactor(tsT, b.cfg.owner(k, j))
 		tau := make([]float64, h)
 		run = func(ws *nla.Workspace) { kernels.TSLQT(a1, a2, tsT, tau, ws) }
 		if b.rec != nil {
 			b.rec.right = append(b.rec.right, opRec{kind: recTSL, piv: piv, row: j, kk: h, v: a2, t: tsT})
 		}
 	}
-	b.g.AddTask(kernels.TSLQTKind, b.cfg.owner(k, j), kernels.Weight(kernels.TSLQTKind),
-		kernels.FlopsTSLQT(h, n), run,
+	deps := []sched.Access{
 		sched.RW(b.hd(k, piv)), sched.RW(b.hl(k, piv)),
 		sched.RW(b.hd(k, j)), sched.RW(b.hu(k, j)), sched.RW(b.hl(k, j)),
-	).SetCoords(k, j, k)
+	}
+	if tsTh != nil {
+		deps = append(deps, sched.W(tsTh))
+	}
+	b.g.AddTask(kernels.TSLQTKind, b.cfg.owner(k, j), kernels.Weight(kernels.TSLQTKind),
+		kernels.FlopsTSLQT(h, n), run, deps...).SetCoords(k, j, k)
 
 	for i := k + 1; i < imax; i++ {
 		m := sh.RowsOf(i)
@@ -501,12 +556,16 @@ func (b *builder) emitTSLQ(k, piv, j, h, imax int) {
 			t := tsT
 			urun = func(ws *nla.Workspace) { kernels.TSMLQ(true, h, v2, t, c1, c2, ws) }
 		}
-		b.g.AddTask(kernels.TSMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMLQKind),
-			kernels.FlopsTSMLQ(m, n, h), urun,
-			sched.R(b.hd(k, j)), sched.R(b.hu(k, j)), sched.R(b.hl(k, j)),
+		udeps := []sched.Access{sched.R(b.hd(k, j)), sched.R(b.hu(k, j)), sched.R(b.hl(k, j))}
+		if tsTh != nil {
+			udeps = append(udeps, sched.R(tsTh))
+		}
+		udeps = append(udeps,
 			sched.RW(b.hd(i, piv)), sched.RW(b.hu(i, piv)), sched.RW(b.hl(i, piv)),
 			sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-		).SetCoords(i, j, k)
+		)
+		b.g.AddTask(kernels.TSMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TSMLQKind),
+			kernels.FlopsTSMLQ(m, n, h), urun, udeps...).SetCoords(i, j, k)
 	}
 }
 
@@ -514,11 +573,13 @@ func (b *builder) emitTTLQ(k, piv, j, h, imax int) {
 	sh := b.sh
 	b.need(kernels.TTLQTKind, h, h, 0)
 	var ttT *nla.Matrix
+	var ttTh *sched.Handle
 	var run func(*nla.Workspace)
 	if b.data != nil {
 		a1 := b.tileAt(k, piv)
 		a2 := b.tileAt(k, j)
 		ttT = nla.NewMatrix(h, h)
+		ttTh = b.tfactor(ttT, b.cfg.owner(k, j))
 		tau := make([]float64, h)
 		run = func(ws *nla.Workspace) {
 			kernels.TTLQT(a1.View(0, 0, h, h), a2.View(0, 0, h, min(a2.Cols, h)), ttT, tau, ws)
@@ -527,11 +588,15 @@ func (b *builder) emitTTLQ(k, piv, j, h, imax int) {
 			b.rec.right = append(b.rec.right, opRec{kind: recTTL, piv: piv, row: j, kk: h, v: a2, t: ttT})
 		}
 	}
-	b.g.AddTask(kernels.TTLQTKind, b.cfg.owner(k, j), kernels.Weight(kernels.TTLQTKind),
-		kernels.FlopsTTLQT(h), run,
+	deps := []sched.Access{
 		sched.RW(b.hd(k, piv)), sched.RW(b.hl(k, piv)),
 		sched.RW(b.hd(k, j)), sched.RW(b.hl(k, j)),
-	).SetCoords(k, j, k)
+	}
+	if ttTh != nil {
+		deps = append(deps, sched.W(ttTh))
+	}
+	b.g.AddTask(kernels.TTLQTKind, b.cfg.owner(k, j), kernels.Weight(kernels.TTLQTKind),
+		kernels.FlopsTTLQT(h), run, deps...).SetCoords(k, j, k)
 
 	for i := k + 1; i < imax; i++ {
 		m := sh.RowsOf(i)
@@ -546,12 +611,16 @@ func (b *builder) emitTTLQ(k, piv, j, h, imax int) {
 				kernels.TTMLQ(true, h, v2.View(0, 0, h, min(v2.Cols, h)), t, c1, c2.View(0, 0, c2.Rows, min(c2.Cols, h)), ws)
 			}
 		}
-		b.g.AddTask(kernels.TTMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMLQKind),
-			kernels.FlopsTTMLQ(m, h), urun,
-			sched.R(b.hd(k, j)), sched.R(b.hl(k, j)),
+		udeps := []sched.Access{sched.R(b.hd(k, j)), sched.R(b.hl(k, j))}
+		if ttTh != nil {
+			udeps = append(udeps, sched.R(ttTh))
+		}
+		udeps = append(udeps,
 			sched.RW(b.hd(i, piv)), sched.RW(b.hu(i, piv)), sched.RW(b.hl(i, piv)),
 			sched.RW(b.hd(i, j)), sched.RW(b.hu(i, j)), sched.RW(b.hl(i, j)),
-		).SetCoords(i, j, k)
+		)
+		b.g.AddTask(kernels.TTMLQKind, b.cfg.owner(i, j), kernels.Weight(kernels.TTMLQKind),
+			kernels.FlopsTTMLQ(m, h), urun, udeps...).SetCoords(i, j, k)
 	}
 }
 
@@ -701,10 +770,17 @@ func BuildRBidiag(g *sched.Graph, sh Shape, data *tile.Matrix, cfg Config) (Shap
 						}
 					}
 				}
-				g.AddTask(kernels.LACPYKind, cfg.owner(i, j), 0, 0, run,
-					sched.R(b.hd(i, j)), sched.R(b.hu(i, j)),
-					sched.W(rb.hd(i, j)), sched.W(rb.hu(i, j)), sched.W(rb.hl(i, j)),
-				).SetCoords(ri, rj, -1)
+				deps := []sched.Access{sched.R(b.hd(i, j)), sched.R(b.hu(i, j))}
+				if i < j {
+					// A strictly-upper tile lies entirely inside the global
+					// upper triangle: its tile-lower region is R data too,
+					// and the copy reads it. (The diagonal tile's lower
+					// region holds reflectors, which the copy zeroes
+					// without looking at them.)
+					deps = append(deps, sched.R(b.hl(i, j)))
+				}
+				deps = append(deps, sched.W(rb.hd(i, j)), sched.W(rb.hu(i, j)), sched.W(rb.hl(i, j)))
+				g.AddTask(kernels.LACPYKind, cfg.owner(i, j), 0, 0, run, deps...).SetCoords(ri, rj, -1)
 			} else {
 				var run func(*nla.Workspace)
 				if data != nil {

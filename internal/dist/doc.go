@@ -1,0 +1,61 @@
+// Package dist executes tiled bidiagonalization task graphs across a
+// grid of nodes, owner-compute style: every task has one owning node
+// (the block-cyclic distribution of its output tile), each node runs
+// only the tasks it owns, and cross-node data dependencies become
+// messages over a Transport.
+//
+// # Execution models
+//
+// Execute runs all nodes as goroutine pools inside one process and is
+// the reference for communication accounting: its CommCount/CommVolume
+// equal sched.SimulateDistributed's prediction for the same graph and
+// grid by construction.
+//
+// ExecuteNode is the SPMD entry point for one rank of a multi-process
+// run: every process builds the identical graph over its own full input
+// copy, then executes only its owned tasks, exchanging tile regions
+// through the configured Transport. With Gather set, non-root ranks
+// stream their owned output tiles to rank 0 so the root holds the full
+// factorized matrix.
+//
+// # Transports
+//
+// Two Transport implementations exist, and the executor is bitwise
+// deterministic across them (see TestExecutorParityLoopbackTCP):
+//
+//   - ChanTransport: one buffered channel per node, in-process. Used by
+//     Execute and by single-process multi-node tests.
+//   - TCPTransport: one process per rank, a full mesh of TCP
+//     connections. Used by bidiagd's -node/-peers cluster mode.
+//
+// # TCP wire format
+//
+// Every connection opens with a handshake and then carries
+// length-prefixed frames, all integers little-endian:
+//
+//	handshake:  "BDT1" magic (4 bytes) | int32 sender rank
+//	frame:      uint32 length          (bytes after this field)
+//	            int32  From | To | Producer | Bytes
+//	            uint32 enable count    | int32 × count enabled task IDs
+//	            payload                (rest of the frame)
+//
+// The payload is the exact byte string the producing handle's Snapshot
+// serializer emitted (internal/core region payloads, column-major
+// little-endian float64s), so a receiving rank restores the region
+// bit-for-bit. Frames with Bytes == 0 are enable-only ordering edges
+// and are excluded from communication accounting; negative Producer
+// values are reserved for out-of-band control frames (gather, errors,
+// cluster job dispatch).
+//
+// WireStats on a TCPTransport reports frames, total framed bytes
+// (length prefix + header + enable list + payload), and payload bytes
+// actually sent — the figures the comm-accounting tests reconcile
+// against the model.
+//
+// # Fault injection
+//
+// FaultTransport wraps any Transport with deterministic fault
+// injection — dropping, duplicating, or delaying data frames — so the
+// executor's stall detection and receiver dedup are testable without
+// real network faults.
+package dist

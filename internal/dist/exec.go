@@ -41,6 +41,13 @@ type Result struct {
 	// transport (zero for simulation-only graphs, which have no payload
 	// serializers attached).
 	PayloadBytes int64
+	// WireFrames and WireBytes are the frames and total bytes this
+	// process actually put on the wire, headers included, when the
+	// transport can measure them (TCPTransport); zero otherwise. Unlike
+	// CommVolume — the modeled figure shared with SimulateDistributed —
+	// WireBytes includes framing overhead and ordering/gather frames.
+	WireFrames int64
+	WireBytes  int64
 	// NodeBusy and NodeRecv break Busy and the per-node data-cache entry
 	// counts down by node.
 	NodeBusy []time.Duration

@@ -1,0 +1,612 @@
+package dist
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/sched"
+)
+
+// Reserved Producer values of out-of-band frames. Real task IDs are never
+// negative, so these multiplex cleanly over the same Transport.
+const (
+	// ProducerGather marks a frame carrying the sender rank's final
+	// region snapshots — the end-of-job gather ExecuteNode ships to rank
+	// 0 when NodeOptions.Gather is set.
+	ProducerGather int32 = -2
+	// ProducerControl marks an out-of-band control frame. ExecuteNode
+	// never sends or expects one; the cluster layer uses them between
+	// jobs to broadcast work to the peer ranks.
+	ProducerControl int32 = -3
+	// ProducerError carries a remote rank's failure: the payload is the
+	// error text. A rank whose execution fails ships one to rank 0 so
+	// the head fails the job promptly instead of waiting out a stall.
+	ProducerError int32 = -4
+)
+
+// NodeOptions configures one rank of a multi-process owner-compute
+// execution (ExecuteNode).
+type NodeOptions struct {
+	// Grid is the process grid; the job spans Grid.Nodes() ranks, one
+	// process each, every one executing ExecuteNode over an identical
+	// graph built from an identical input (SPMD).
+	Grid Grid
+	// WorkersPerNode is this rank's worker pool size (default 1).
+	WorkersPerNode int
+	// Transport connects this rank to its peers (required). ExecuteNode
+	// never closes it, so a persistent mesh can carry many jobs
+	// back-to-back; standalone callers close it themselves.
+	Transport Transport
+	// Rank is this process's node id in [0, Grid.Nodes()).
+	Rank int
+	// Gather, when set, ships every datum's final region bytes to rank 0
+	// at the end of the job (each rank sends the regions whose last
+	// writer it ran), so rank 0 finishes holding the complete result —
+	// bitwise-identical to a sequential run — and can serve it.
+	Gather bool
+	// StallTimeout fails the execution when this rank makes no local
+	// progress (no task completion, no frame arrival) for the duration —
+	// the detector that turns a lost peer or a dropped frame into a
+	// prompt error instead of a hang. It must comfortably exceed the
+	// longest stretch this rank legitimately spends waiting on remote
+	// computation. 0 disables.
+	StallTimeout time.Duration
+}
+
+// nodeEngine is the per-process twin of engine: one rank's ready heap,
+// worker pool and NIC, with remote dependencies crossing a real wire in
+// both directions. Where the in-process engine only ships data edges
+// (cross-node ordering edges degenerate to local enables under one
+// address space), this engine must also ship ordering frames — a WAR/WAW
+// edge whose endpoints live in different processes has no shared counter
+// to decrement. Ordering frames carry no payload and are excluded from
+// the communication accounting, which therefore still matches
+// sched.SimulateDistributed exactly.
+type nodeEngine struct {
+	g     *sched.Graph
+	tr    Transport
+	rank  int32
+	nodes int32
+	nd    *execNode
+
+	preds     []int32
+	statMu    sync.Mutex
+	remaining int // local tasks not yet completed
+	sent      map[int64]struct{}
+	err       error
+	finished  bool
+	res       Result
+
+	stop     chan struct{} // closed on failure or after the job drains
+	stopOnce sync.Once
+	// gatherOK is closed once every peer's gather frame arrived (rank 0
+	// only). The payloads are buffered in gathers and restored by the
+	// main goroutine after the local workers have quiesced — restoring
+	// from the receiver could race a still-running local reader of the
+	// same region.
+	gatherOK chan struct{}
+	gathers  map[int32][]byte
+	progress atomic.Int64
+}
+
+// ExecuteNode runs this process's share of an owner-compute execution:
+// the graph must be built identically on every rank (same input, same
+// shape, same configuration — SPMD), and each rank executes exactly the
+// tasks it owns. Cross-process read-after-write edges are satisfied by
+// payload frames whose bytes are restored into the local replica of the
+// producer's output regions before any local consumer runs; cross-process
+// ordering edges travel as payload-free enable frames. The result on the
+// owning rank of every datum is bitwise-identical to RunSequential on one
+// address space.
+//
+// The returned Result carries this rank's share of the communication:
+// summing CommCount/CommVolume over all ranks reproduces the in-process
+// executor's figures and the SimulateDistributed prediction.
+func ExecuteNode(g *sched.Graph, opt NodeOptions) (*Result, error) {
+	if err := opt.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	n := opt.Grid.Nodes()
+	if opt.Rank < 0 || opt.Rank >= n {
+		return nil, fmt.Errorf("dist: rank %d outside %s grid", opt.Rank, opt.Grid)
+	}
+	if opt.Transport == nil {
+		return nil, fmt.Errorf("dist: ExecuteNode requires a transport")
+	}
+	wpn := opt.WorkersPerNode
+	if wpn < 1 {
+		wpn = 1
+	}
+	for _, t := range g.Tasks {
+		if t.Node < 0 {
+			return nil, fmt.Errorf("dist: task %d has negative owner %d", t.ID, t.Node)
+		}
+	}
+
+	e := &nodeEngine{
+		g:     g,
+		tr:    opt.Transport,
+		rank:  int32(opt.Rank),
+		nodes: int32(n),
+		preds: make([]int32, len(g.Tasks)),
+		sent:  map[int64]struct{}{},
+		stop:  make(chan struct{}),
+	}
+	e.res = Result{Nodes: n, WorkersPerNode: wpn, NodeBusy: make([]time.Duration, n), NodeRecv: make([]int, n)}
+	e.nd = &execNode{id: e.rank}
+	e.nd.cond = sync.NewCond(&e.nd.mu)
+	e.nd.outCond = sync.NewCond(&e.nd.outMu)
+	if opt.Gather && e.rank == 0 {
+		e.gatherOK = make(chan struct{})
+		e.gathers = map[int32][]byte{}
+		if n == 1 {
+			close(e.gatherOK)
+		}
+	}
+
+	local := 0
+	for _, t := range g.Tasks {
+		if e.nodeOf(t) == e.rank {
+			local++
+		}
+		for _, s := range t.Succs() {
+			e.preds[s.ID]++
+		}
+	}
+	e.remaining = local
+	g.ComputeBottomLevels(sched.WeightTime)
+
+	var wireBase int64
+	if ws, ok := e.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
+		_, wireBase, _ = ws.WireStats()
+	}
+
+	start := time.Now()
+	var receivers, senders, workers sync.WaitGroup
+	receivers.Add(1)
+	go e.receiver(&receivers)
+	senders.Add(1)
+	go e.sender(&senders)
+	if opt.StallTimeout > 0 {
+		go e.watchdog(opt.StallTimeout)
+	}
+
+	for _, t := range g.Tasks {
+		if e.preds[t.ID] == 0 && e.nodeOf(t) == e.rank {
+			heap.Push(&e.nd.ready, t)
+		}
+	}
+	e.statMu.Lock()
+	if e.remaining == 0 {
+		e.finished = true
+	}
+	e.statMu.Unlock()
+	for w := 0; w < wpn; w++ {
+		workers.Add(1)
+		go e.worker(int(e.rank)*wpn+w, &workers)
+	}
+	workers.Wait()
+
+	// Local tasks are done (or the run failed). Ship the end-of-job
+	// frames while the NIC is still open: the gather to rank 0 on
+	// success, an error notice on failure.
+	if err := e.currentErr(); err == nil {
+		if opt.Gather && e.rank != 0 {
+			e.ship(Message{From: e.rank, To: 0, Producer: ProducerGather, Payload: e.gatherPayload()})
+		}
+	} else if e.rank != 0 {
+		e.ship(Message{From: e.rank, To: 0, Producer: ProducerError, Payload: []byte(err.Error())})
+	}
+	// Rank 0 stays receiving until every peer's gather arrived, then
+	// installs the buffered payloads — the workers are quiescent now, so
+	// no local task can race the restores.
+	if e.gatherOK != nil {
+		select {
+		case <-e.gatherOK:
+			for from, payload := range e.gathers {
+				e.restoreGather(from, payload)
+			}
+		case <-e.stop:
+		}
+	}
+
+	e.nd.outMu.Lock()
+	e.nd.outClosed = true
+	e.nd.outCond.Broadcast()
+	e.nd.outMu.Unlock()
+	senders.Wait()
+	e.stopNow() // receiver exits; transport stays open for the next job
+	receivers.Wait()
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	e.res.Wall = time.Since(start)
+	e.res.TasksRun = local
+	e.res.NodeBusy[e.rank] = e.nd.busy
+	e.res.Busy = e.nd.busy
+	if e.res.Wall > 0 {
+		e.res.Utilization = float64(e.res.Busy) / (float64(wpn) * float64(e.res.Wall))
+	}
+	if ws, ok := e.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
+		frames, wire, _ := ws.WireStats()
+		e.res.WireFrames = frames
+		e.res.WireBytes = wire - wireBase
+	}
+	return &e.res, nil
+}
+
+func (e *nodeEngine) nodeOf(t *sched.Task) int32 { return t.Node % e.nodes }
+
+func (e *nodeEngine) stopNow() { e.stopOnce.Do(func() { close(e.stop) }) }
+
+func (e *nodeEngine) currentErr() error {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.err
+}
+
+// fail records the first fatal error, wakes the workers and stops the
+// receiver.
+func (e *nodeEngine) fail(err error) {
+	e.statMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.finished = true
+	e.statMu.Unlock()
+	e.nd.mu.Lock()
+	e.nd.cond.Broadcast()
+	e.nd.mu.Unlock()
+	e.stopNow()
+}
+
+func (e *nodeEngine) worker(id int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ws := e.g.NewWorkspace()
+	nd := e.nd
+	for {
+		nd.mu.Lock()
+		for len(nd.ready) == 0 && !e.isFinished() {
+			nd.cond.Wait()
+		}
+		if len(nd.ready) == 0 || e.currentErr() != nil {
+			nd.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&nd.ready).(*sched.Task)
+		nd.mu.Unlock()
+
+		begin := time.Now()
+		if err := e.g.RunTask(t, ws, id); err != nil {
+			e.fail(fmt.Errorf("dist: rank %d: %w", e.rank, err))
+			return
+		}
+		d := time.Since(begin)
+		nd.mu.Lock()
+		nd.busy += d
+		nd.mu.Unlock()
+
+		e.complete(t)
+	}
+}
+
+func (e *nodeEngine) isFinished() bool {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.finished
+}
+
+// complete propagates a finished local task: enable local successors,
+// and ship one frame per remote destination node combining the payload of
+// its data edges (snapshotted before any successor may run) with every
+// enable the destination is owed — data and ordering alike.
+func (e *nodeEngine) complete(t *sched.Task) {
+	e.progress.Add(1)
+	succs := t.Succs()
+
+	var local []*sched.Task
+	var outs []*outMsg
+	var byDest map[int32]*outMsg
+	for i, s := range succs {
+		sn := e.nodeOf(s)
+		if sn == e.rank {
+			local = append(local, s)
+			continue
+		}
+		if byDest == nil {
+			byDest = map[int32]*outMsg{}
+		}
+		m := byDest[sn]
+		if m == nil {
+			m = &outMsg{dest: sn}
+			byDest[sn] = m
+			outs = append(outs, m)
+		}
+		if bytes := t.EdgeBytes(i); bytes > 0 {
+			if m.bytes == 0 {
+				// First data edge to this destination: the volume figure
+				// the simulator charges for the deduplicated transfer.
+				m.bytes = bytes
+			}
+			for _, h := range t.EdgeHandles(i) {
+				known := false
+				for _, seen := range m.handles {
+					if seen == h {
+						known = true
+						break
+					}
+				}
+				if !known {
+					m.handles = append(m.handles, h)
+				}
+			}
+		}
+		m.enable = append(m.enable, s.ID)
+	}
+
+	if len(outs) > 0 {
+		snaps := map[*sched.Handle][]byte{}
+		for _, m := range outs {
+			var payload []byte
+			for _, h := range m.handles {
+				snap, ok := snaps[h]
+				if !ok {
+					snap = h.Snapshot()
+					snaps[h] = snap
+				}
+				payload = append(payload, snap...)
+			}
+			e.ship(Message{
+				From:     e.rank,
+				To:       m.dest,
+				Producer: t.ID,
+				Bytes:    m.bytes,
+				Payload:  payload,
+				Enable:   m.enable,
+			})
+		}
+	}
+	for _, s := range local {
+		e.enable(s)
+	}
+
+	e.statMu.Lock()
+	e.remaining--
+	fin := e.remaining == 0
+	if fin {
+		e.finished = true
+	}
+	e.statMu.Unlock()
+	if fin {
+		e.nd.mu.Lock()
+		e.nd.cond.Broadcast()
+		e.nd.mu.Unlock()
+	}
+}
+
+// ship accounts a data transfer (ordering and out-of-band frames carry
+// Bytes 0 and are free, as in the simulator) and enqueues the frame on
+// this rank's NIC.
+func (e *nodeEngine) ship(msg Message) {
+	if msg.Bytes > 0 {
+		key := sched.CommKey(msg.Producer, msg.To)
+		e.statMu.Lock()
+		if _, dup := e.sent[key]; !dup {
+			e.sent[key] = struct{}{}
+			e.res.CommCount++
+			e.res.CommVolume += float64(msg.Bytes)
+			e.res.PayloadBytes += int64(len(msg.Payload))
+		}
+		e.statMu.Unlock()
+	}
+	nd := e.nd
+	nd.outMu.Lock()
+	nd.outbox = append(nd.outbox, msg)
+	nd.outCond.Signal()
+	nd.outMu.Unlock()
+}
+
+// sender is this rank's NIC: frames drain in FIFO order, one at a time.
+func (e *nodeEngine) sender(wg *sync.WaitGroup) {
+	defer wg.Done()
+	nd := e.nd
+	for {
+		nd.outMu.Lock()
+		for len(nd.outbox) == 0 && !nd.outClosed {
+			nd.outCond.Wait()
+		}
+		if len(nd.outbox) == 0 {
+			nd.outMu.Unlock()
+			return
+		}
+		msg := nd.outbox[0]
+		nd.outbox = nd.outbox[1:]
+		nd.outMu.Unlock()
+		if err := e.tr.Send(msg); err != nil {
+			e.fail(fmt.Errorf("dist: rank %d transport send: %w", e.rank, err))
+			return
+		}
+	}
+}
+
+// receiver consumes this rank's frame stream: restore payloads into the
+// local replicas, then release the tasks each frame enables. It exits on
+// e.stop rather than transport close, so a persistent mesh survives the
+// job. Duplicate frames (a faulty or retrying transport) are ignored —
+// restoring stale bytes after later local writes would corrupt data, and
+// double enables would corrupt the dependence counters.
+func (e *nodeEngine) receiver(wg *sync.WaitGroup) {
+	defer wg.Done()
+	ch := e.tr.Recv(e.rank)
+	if ch == nil {
+		e.fail(fmt.Errorf("dist: transport has no receive stream for rank %d", e.rank))
+		return
+	}
+	seen := map[int32]bool{}     // data/ordering frames, by producer
+	gathered := map[int32]bool{} // gather frames, by sender rank
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("dist: rank %d receive: %v", e.rank, r))
+		}
+	}()
+	for {
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				return
+			}
+			e.progress.Add(1)
+			switch {
+			case msg.Producer == ProducerError:
+				e.fail(fmt.Errorf("dist: rank %d failed: %s", msg.From, msg.Payload))
+				return
+			case msg.Producer == ProducerGather:
+				if e.gathers == nil || gathered[msg.From] {
+					continue
+				}
+				gathered[msg.From] = true
+				e.gathers[msg.From] = msg.Payload
+				if len(gathered) == int(e.nodes)-1 {
+					close(e.gatherOK)
+				}
+			case msg.Producer == ProducerControl:
+				e.fail(fmt.Errorf("dist: rank %d received a control frame mid-job", e.rank))
+				return
+			case msg.Producer < 0 || int(msg.Producer) >= len(e.g.Tasks):
+				e.fail(fmt.Errorf("dist: rank %d received frame from unknown producer %d", e.rank, msg.Producer))
+				return
+			default:
+				if seen[msg.Producer] {
+					continue
+				}
+				seen[msg.Producer] = true
+				if err := e.deliver(msg); err != nil {
+					e.fail(err)
+					return
+				}
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// deliver restores a data frame's payload and releases the enabled
+// tasks. The handle enumeration replays the sender's: walk the
+// producer's edges into this rank, collecting each data edge's handles
+// first-seen order — both sides derive it from the same graph, so no
+// metadata travels on the wire.
+func (e *nodeEngine) deliver(msg Message) error {
+	t := e.g.Tasks[msg.Producer]
+	rest := msg.Payload
+	var restored []*sched.Handle
+	for i, s := range t.Succs() {
+		if e.nodeOf(s) != e.rank || t.EdgeBytes(i) == 0 {
+			continue
+		}
+		for _, h := range t.EdgeHandles(i) {
+			known := false
+			for _, seen := range restored {
+				if seen == h {
+					known = true
+					break
+				}
+			}
+			if known {
+				continue
+			}
+			restored = append(restored, h)
+			rest = rest[h.Restore(rest):]
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("dist: rank %d: frame from task %d has %d unconsumed payload bytes", e.rank, msg.Producer, len(rest))
+	}
+	for _, id := range msg.Enable {
+		if id < 0 || int(id) >= len(e.g.Tasks) {
+			return fmt.Errorf("dist: rank %d: frame enables unknown task %d", e.rank, id)
+		}
+		e.enable(e.g.Tasks[id])
+	}
+	return nil
+}
+
+// enable decrements a task's predecessor count and, at zero, makes it
+// runnable if this rank owns it.
+func (e *nodeEngine) enable(s *sched.Task) {
+	e.statMu.Lock()
+	e.preds[s.ID]--
+	ready := e.preds[s.ID] == 0
+	e.statMu.Unlock()
+	if !ready || e.nodeOf(s) != e.rank {
+		return
+	}
+	e.nd.mu.Lock()
+	heap.Push(&e.nd.ready, s)
+	e.nd.cond.Signal()
+	e.nd.mu.Unlock()
+}
+
+// gatherPayload concatenates the final snapshots of every datum whose
+// last writer ran on this rank, in handle registration order — the
+// deterministic enumeration rank 0 replays in restoreGather.
+func (e *nodeEngine) gatherPayload() []byte {
+	var payload []byte
+	for _, h := range e.g.Handles() {
+		if w := h.LastWriter(); w != nil && e.nodeOf(w) == e.rank {
+			payload = append(payload, h.Snapshot()...)
+		}
+	}
+	return payload
+}
+
+// restoreGather installs a peer's final regions into rank 0's replica.
+func (e *nodeEngine) restoreGather(from int32, payload []byte) {
+	rest := payload
+	for _, h := range e.g.Handles() {
+		if w := h.LastWriter(); w != nil && e.nodeOf(w) == from {
+			rest = rest[h.Restore(rest):]
+		}
+	}
+	if len(rest) != 0 {
+		e.fail(fmt.Errorf("dist: rank %d: gather from rank %d has %d unconsumed bytes", e.rank, from, len(rest)))
+	}
+}
+
+// watchdog fails the execution when neither a completion nor a frame
+// arrival happened for a full timeout window.
+func (e *nodeEngine) watchdog(timeout time.Duration) {
+	tick := time.NewTicker(timeout)
+	defer tick.Stop()
+	last := e.progress.Load()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+			cur := e.progress.Load()
+			if cur == last {
+				gatherPending := false
+				if e.gatherOK != nil {
+					select {
+					case <-e.gatherOK:
+					default:
+						gatherPending = true
+					}
+				}
+				e.statMu.Lock()
+				stalled := (e.remaining > 0 || gatherPending) && e.err == nil
+				e.statMu.Unlock()
+				if stalled {
+					e.fail(fmt.Errorf("dist: rank %d stalled: no progress for %s (lost peer or dropped frame?)", e.rank, timeout))
+					return
+				}
+			}
+			last = cur
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultTransport wraps a Transport with deterministic fault injection for
+// tests: dropping, duplicating, or delaying frames. Out-of-band frames
+// (negative producers) are never dropped or duplicated — faults target
+// the data plane, where the executor's stall detection and receiver
+// dedup must absorb them.
+type FaultTransport struct {
+	Inner Transport
+	// DropNth silently discards the Nth data frame this wrapper sees
+	// (1-based; 0 disables). The frame is lost exactly once — the
+	// executor must turn the resulting starvation into a prompt error.
+	DropNth int64
+	// DupNth sends the Nth data frame twice (1-based; 0 disables). The
+	// receiver must ignore the duplicate.
+	DupNth int64
+	// Delay pauses before every send — a slow network. It must never
+	// change results, only timing.
+	Delay time.Duration
+
+	n       atomic.Int64
+	dropped atomic.Int64
+	duped   atomic.Int64
+	mu      sync.Mutex
+}
+
+// Send implements Transport.
+func (f *FaultTransport) Send(msg Message) error {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if msg.Producer >= 0 {
+		n := f.n.Add(1)
+		if f.DropNth > 0 && n == f.DropNth {
+			f.dropped.Add(1)
+			return nil
+		}
+		if f.DupNth > 0 && n == f.DupNth {
+			f.duped.Add(1)
+			// Serialize the pair so both copies stay adjacent in the
+			// per-sender FIFO order the Transport contract promises.
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if err := f.Inner.Send(msg); err != nil {
+				return err
+			}
+			return f.Inner.Send(msg)
+		}
+	}
+	return f.Inner.Send(msg)
+}
+
+// Recv implements Transport.
+func (f *FaultTransport) Recv(node int32) <-chan Message { return f.Inner.Recv(node) }
+
+// Close implements Transport.
+func (f *FaultTransport) Close() error { return f.Inner.Close() }
+
+// Dropped and Duplicated report how many faults actually fired.
+func (f *FaultTransport) Dropped() int64    { return f.dropped.Load() }
+func (f *FaultTransport) Duplicated() int64 { return f.duped.Load() }

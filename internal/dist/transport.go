@@ -24,9 +24,9 @@ type Message struct {
 // stream of a node; the channel is closed by Close once the executor has
 // drained every outbox.
 //
-// The in-process ChanTransport below is the only implementation today;
-// the interface is the seam where a TCP or gRPC transport plugs in for
-// true multi-process sharding.
+// ChanTransport below is the in-process implementation; TCPTransport
+// (tcp.go) carries the same frames across processes, and the executor
+// is bitwise deterministic across the two.
 type Transport interface {
 	Send(msg Message) error
 	Recv(node int32) <-chan Message

@@ -38,6 +38,7 @@ type Handle struct {
 	Bytes      int32
 	Owner      int32
 	payload    func() []byte
+	restore    func([]byte) int
 	lastWriter *Task
 	readers    []*Task
 }
@@ -48,6 +49,14 @@ type Handle struct {
 // graphs leave it nil and messages carry metadata only.
 func (h *Handle) SetPayload(f func() []byte) { h.payload = f }
 
+// SetRestore attaches the deserializer paired with SetPayload: it
+// installs a snapshot produced by the payload serializer back into the
+// datum's storage and returns the byte count consumed. Multi-process
+// executors (dist.ExecuteNode) call it on message arrival so the local
+// replica of a remotely-written region holds the producer's bytes before
+// any local consumer runs.
+func (h *Handle) SetRestore(f func([]byte) int) { h.restore = f }
+
 // Snapshot returns the datum's current serialized bytes, or nil when no
 // serializer is attached. Callers must invoke it only at points where the
 // datum is quiescent (no kernel writing it may be in flight).
@@ -57,6 +66,25 @@ func (h *Handle) Snapshot() []byte {
 	}
 	return h.payload()
 }
+
+// Restore consumes one snapshot of this datum from the front of buf and
+// writes it into local storage, returning the bytes consumed (0 when no
+// deserializer is attached — symmetric with a nil Snapshot, so walking a
+// concatenated payload handle-by-handle stays aligned). The same
+// quiescence rule as Snapshot applies: no kernel reading or writing the
+// datum may be in flight.
+func (h *Handle) Restore(buf []byte) int {
+	if h.restore == nil {
+		return 0
+	}
+	return h.restore(buf)
+}
+
+// LastWriter returns the final task that writes this datum (nil for
+// read-only inputs). After the graph is fully built this identifies, for
+// every datum, the rank that holds its final value under owner-compute
+// execution — the enumeration the multi-process gather uses.
+func (h *Handle) LastWriter() *Task { return h.lastWriter }
 
 // Task is one kernel invocation in the DAG.
 type Task struct {
@@ -198,6 +226,12 @@ func (g *Graph) NewHandle(bytes, owner int32) *Handle {
 	g.handles = append(g.handles, h)
 	return h
 }
+
+// Handles returns every handle registered on the graph in registration
+// order — deterministic for identical builds, which is what lets two
+// processes that built the same graph agree on a gather enumeration
+// without exchanging metadata. Read-only use.
+func (g *Graph) Handles() []*Handle { return g.handles }
 
 // Access pairs a handle with an access mode at task submission.
 type Access struct {

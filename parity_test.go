@@ -3,7 +3,9 @@ package bidiag
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/dist"
@@ -92,6 +94,68 @@ func TestExecutorParityFuzz(t *testing.T) {
 				t.Fatalf("dist.Execute: %v", err)
 			}
 			diffTiles(t, "dist.Execute vs RunSequential", refData, distData)
+		})
+	}
+}
+
+// TestExecutorParityLoopbackTCP extends executor parity across a real
+// wire: every rank of the grid runs dist.ExecuteNode as its own
+// "process" — its own graph replica, its own TCP transport on loopback —
+// and rank 0's gathered result must still be BITWISE-identical to
+// RunSequential. The frames cross actual sockets, so this leg covers the
+// wire codec, per-connection FIFO ordering, and payload restore, not
+// just the channel fast path.
+func TestExecutorParityLoopbackTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cases := []struct {
+		m, n, nb int
+		useR     bool
+		grid     dist.Grid
+	}{
+		{130, 70, 32, true, dist.Grid{R: 2, C: 2}},
+		{97, 67, 32, false, dist.Grid{R: 3, C: 1}},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%dx%d/useR=%v/grid=%dx%d", tc.m, tc.n, tc.useR, tc.grid.R, tc.grid.C)
+		t.Run(name, func(t *testing.T) {
+			src := nla.RandomMatrix(rng, tc.m, tc.n)
+			const wpn = 2
+			gSeq, refData := buildGE2BND(src, tc.nb, tc.grid, wpn, tc.useR)
+			gSeq.RunSequential()
+
+			nodes := tc.grid.Nodes()
+			trs, err := dist.LoopbackTCPMesh(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				for _, tr := range trs {
+					tr.Close()
+				}
+			}()
+			outs := make([]*tile.Matrix, nodes)
+			errs := make([]error, nodes)
+			var wg sync.WaitGroup
+			for rank := 0; rank < nodes; rank++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					g, data := buildGE2BND(src, tc.nb, tc.grid, wpn, tc.useR)
+					outs[rank] = data
+					_, errs[rank] = dist.ExecuteNode(g, dist.NodeOptions{
+						Grid: tc.grid, WorkersPerNode: wpn,
+						Transport: trs[rank], Rank: rank,
+						Gather: true, StallTimeout: 60 * time.Second,
+					})
+				}(rank)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", rank, err)
+				}
+			}
+			diffTiles(t, "ExecuteNode over TCP vs RunSequential", refData, outs[0])
 		})
 	}
 }

@@ -506,6 +506,21 @@ func buildSVDJob(a *Dense, o *Options) func(g *sched.Graph) (func() (any, error)
 	}
 }
 
+// CacheKey digests a job — kind, matrix content, and the
+// result-affecting options — into the sha256 hex identity the service's
+// result cache uses. The options are digested exactly as given, with no
+// environment-dependent defaulting (in particular no GOMAXPROCS worker
+// default), so two processes on different machines key the same request
+// identically — the property the shard router's consistent hashing
+// relies on for cache affinity.
+func CacheKey(kind JobKind, a *Dense, opts *Options) string {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return cacheKey(kind, a, o)
+}
+
 // cacheKey digests the matrix content and every result-affecting option
 // into the job's content-addressed identity. Fused is deliberately
 // absent (fused and staged are bitwise-identical); Workers is present

@@ -193,6 +193,13 @@ func (s *clusterServer) handleValues(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid %dx%d matrix with %d elements", req.M, req.N, len(req.Data)))
 		return
 	}
+	// The cluster head does not transpose wide inputs the way
+	// single-process GE2BND does, so m < n is a client error here —
+	// keep it a 400, matching the single-process error contract.
+	if req.M < req.N {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster mode requires m >= n (got %dx%d); submit the transpose", req.M, req.N))
+		return
+	}
 	opt, err := clusterJobOptions(req.Options, req.M, req.N, s.wpn)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)

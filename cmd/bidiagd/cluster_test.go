@@ -96,6 +96,13 @@ func TestClusterHTTPSurface(t *testing.T) {
 	if _, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212, Options: &httpapi.Options{Auto: true}}, false); !errors.Is(err, client.ErrBadRequest) {
 		t.Fatalf("auto knob in cluster mode: %v, want 400", err)
 	}
+	// A wide matrix is a client error — cluster mode has no transpose
+	// path — and must be a 400 like the other validation failures, not
+	// a 500 from the head.
+	wide := httpapi.Job{Matrix: httpapi.Matrix{M: 2, N: 3, Data: []float64{1, 2, 3, 4, 5, 6}}}
+	if _, err := cl.PostValues(context.Background(), wide, false); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("wide matrix in cluster mode: %v, want 400", err)
+	}
 
 	health, err := cl.Healthz(context.Background())
 	if err != nil {

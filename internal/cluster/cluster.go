@@ -107,13 +107,16 @@ func decodeJob(payload []byte) (jobSpec, *nla.Matrix, error) {
 		return spec, nil, fmt.Errorf("cluster: control frame too short (%d bytes)", len(payload))
 	}
 	hl := binary.LittleEndian.Uint32(payload)
-	if uint64(4+hl) > uint64(len(payload)) {
+	// The sum must be computed in uint64: 4+hl in uint32 wraps for
+	// hl >= 0xFFFFFFFC and a corrupt frame would pass the check.
+	if uint64(hl)+4 > uint64(len(payload)) {
 		return spec, nil, fmt.Errorf("cluster: control header length %d exceeds frame", hl)
 	}
-	if err := json.Unmarshal(payload[4:4+hl], &spec); err != nil {
+	end := 4 + int(hl)
+	if err := json.Unmarshal(payload[4:end], &spec); err != nil {
 		return spec, nil, fmt.Errorf("cluster: control header: %w", err)
 	}
-	rest := payload[4+hl:]
+	rest := payload[end:]
 	if spec.Op != opJob {
 		return spec, nil, nil
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"testing"
@@ -138,6 +139,15 @@ func TestClusterJobCodec(t *testing.T) {
 	// Truncated data must error, not build a short matrix.
 	if _, _, err := decodeJob(buf[:len(buf)-8]); err == nil {
 		t.Fatal("truncated job accepted")
+	}
+	// A header length near MaxUint32 must fail the bounds check, not
+	// wrap in uint32 arithmetic and panic slicing past the frame.
+	for _, hl := range []uint32{0xFFFFFFFC, 0xFFFFFFFF, 5} {
+		bad := binary.LittleEndian.AppendUint32(nil, hl)
+		bad = append(bad, 0)
+		if _, _, err := decodeJob(bad); err == nil {
+			t.Fatalf("oversized header length %#x accepted", hl)
+		}
 	}
 }
 

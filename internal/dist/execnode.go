@@ -164,6 +164,20 @@ func ExecuteNode(g *sched.Graph, opt NodeOptions) (*Result, error) {
 		_, wireBase, _ = ws.WireStats()
 	}
 
+	// Seed the ready heap and the finished flag before any goroutine
+	// starts: a persistent mesh can already hold buffered frames for this
+	// job (staggered back-to-back cluster jobs), so the receiver may call
+	// enable() — mutating preds and pushing onto the ready heap —
+	// immediately, and would race these otherwise-unsynchronized writes.
+	for _, t := range g.Tasks {
+		if e.preds[t.ID] == 0 && e.nodeOf(t) == e.rank {
+			heap.Push(&e.nd.ready, t)
+		}
+	}
+	if e.remaining == 0 {
+		e.finished = true
+	}
+
 	start := time.Now()
 	var receivers, senders, workers sync.WaitGroup
 	receivers.Add(1)
@@ -173,17 +187,6 @@ func ExecuteNode(g *sched.Graph, opt NodeOptions) (*Result, error) {
 	if opt.StallTimeout > 0 {
 		go e.watchdog(opt.StallTimeout)
 	}
-
-	for _, t := range g.Tasks {
-		if e.preds[t.ID] == 0 && e.nodeOf(t) == e.rank {
-			heap.Push(&e.nd.ready, t)
-		}
-	}
-	e.statMu.Lock()
-	if e.remaining == 0 {
-		e.finished = true
-	}
-	e.statMu.Unlock()
 	for w := 0; w < wpn; w++ {
 		workers.Add(1)
 		go e.worker(int(e.rank)*wpn+w, &workers)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/plan"
 	"github.com/tiled-la/bidiag/internal/trees"
 )
@@ -134,6 +135,9 @@ func planRequest(m, n int, raw, opts Options, kind plan.Kind) plan.Request {
 	if raw.BND2BDWindow > 0 {
 		req.Window = raw.BND2BDWindow
 	}
+	if raw.Gemm != (GemmBlock{}) {
+		req.Gemm = nla.Blocking(raw.Gemm)
+	}
 	switch raw.Algorithm {
 	case Bidiag:
 		req.Alg = plan.AlgBidiag
@@ -161,6 +165,7 @@ func applyPlanConfig(opts Options, cfg plan.Config) Options {
 	}
 	opts.BND2BDWindow = cfg.Window
 	opts.Fused = cfg.Fused
+	opts.Gemm = GemmBlock(cfg.Gemm)
 	return opts
 }
 

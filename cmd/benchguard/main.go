@@ -6,6 +6,11 @@
 //
 //	benchguard -ref BENCH_ge2bnd_1024.json -new out/BENCH_ge2bnd_1024.json
 //	benchguard -ref BENCH_bnd2bd_4096.json -new out/BENCH_bnd2bd_4096.json -tol 0.25
+//	benchguard -ref BENCH_kernels_apply.json -new out/BENCH_kernels_apply.json
+//
+// Records with a kernels array (bidiagbench -stage apply) are gated
+// entry by entry as well as on the aggregate rate, so one kernel
+// regressing cannot hide behind the others improving.
 //
 // Improvements always pass; the checked-in record is only refreshed
 // deliberately, so the trajectory of committed numbers changes only on
@@ -22,7 +27,8 @@ import (
 // currentSchema mirrors bidiagbench's record schema version. A
 // committed reference written before the current schema still compares
 // (the guarded figures are stable), but the guard says so out loud.
-const currentSchema = 2
+// Schema 3 adds the kernels array of per-kernel apply rates.
+const currentSchema = 3
 
 // record is the subset of the bidiagbench perf schema the guard needs.
 type record struct {
@@ -38,12 +44,24 @@ type record struct {
 	GFlops      float64 `json:"gflops"`
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 
+	// Kernels carries the per-kernel rates of a -stage apply record.
+	// Each reference entry is matched to the fresh record by name and
+	// gated with the same tolerance as the headline rate, so one kernel
+	// regressing cannot hide behind the aggregate.
+	Kernels []kernelRate `json:"kernels"`
+
 	// Reconcile carries the model-vs-measured telemetry bidiagbench
 	// attaches to shared-memory records. It is machine- and load-
 	// dependent diagnostic data, not a tracked figure: the guard parses
 	// it for schema forward compatibility and deliberately never
 	// compares it.
 	Reconcile json.RawMessage `json:"reconcile,omitempty"`
+}
+
+// kernelRate mirrors one entry of a -stage apply record's kernels array.
+type kernelRate struct {
+	Kernel string  `json:"kernel"`
+	GFlops float64 `json:"gflops"`
 }
 
 // rate returns the record's guarded figure: throughput records (batch
@@ -107,9 +125,41 @@ func main() {
 	ratio := gotRate / refRate
 	fmt.Printf("%s %dx%d: %.2f %s vs reference %.2f (%.0f%%)\n",
 		ref.Experiment, ref.M, ref.N, gotRate, unit, refRate, 100*ratio)
+	failed := false
 	if ratio < 1-*tol {
 		fmt.Fprintf(os.Stderr, "benchguard: %s regressed %.0f%% (> %.0f%% allowed)\n",
 			unit, 100*(1-ratio), 100**tol)
+		failed = true
+	}
+	// Per-kernel gates of an apply record: every kernel the reference
+	// tracks must be present in the fresh record and within tolerance.
+	newKernels := map[string]kernelRate{}
+	for _, k := range got.Kernels {
+		newKernels[k.Kernel] = k
+	}
+	for _, rk := range ref.Kernels {
+		nk, ok := newKernels[rk.Kernel]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: kernel %s in reference but missing from new record\n", rk.Kernel)
+			failed = true
+			continue
+		}
+		if rk.GFlops <= 0 || nk.GFlops <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: kernel %s has non-positive gflops (ref %.2f, new %.2f)\n",
+				rk.Kernel, rk.GFlops, nk.GFlops)
+			failed = true
+			continue
+		}
+		kr := nk.GFlops / rk.GFlops
+		fmt.Printf("  %-6s: %.2f GFLOP/s vs reference %.2f (%.0f%%)\n",
+			rk.Kernel, nk.GFlops, rk.GFlops, 100*kr)
+		if kr < 1-*tol {
+			fmt.Fprintf(os.Stderr, "benchguard: kernel %s regressed %.0f%% (> %.0f%% allowed)\n",
+				rk.Kernel, 100*(1-kr), 100**tol)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

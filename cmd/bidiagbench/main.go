@@ -13,6 +13,7 @@
 //	bidiagbench -stage bnd2bd -n 4096 -ku 64 -workers 8 -json BENCH_bnd2bd.json
 //	bidiagbench -stage full -m 1024 -nb 64 -workers 4 -json BENCH_full.json
 //	bidiagbench -stage batch -n 256 -jobs 64 -workers 4 -json BENCH_batch.json
+//	bidiagbench -stage apply -nb 64 -reps 3 -json BENCH_kernels_apply.json
 //	bidiagbench -list
 //
 // Experiments: table1, fig2a..fig2f, fig3a..fig3f, fig4a..fig4f,
@@ -40,7 +41,12 @@
 // -stage batch the timed run is serving throughput: -jobs ragged small
 // matrices (dimensions in [n/2, n]) through one bidiag.Service,
 // gang-batched concurrent submission rated in jobs/s (plus client p50/p99
-// latency) against one-call-at-a-time submission on the same pool.
+// latency) against one-call-at-a-time submission on the same pool. With
+// -stage apply the timed run is the four Householder-apply kernels in
+// isolation (UNMQR, TSMQR, UNMLQ, TSMLQ at tile size -nb, the compact-WY
+// hot path the AVX2 micro-kernels accelerate): each is rated in GFLOP/s
+// and recorded in the kernels array of the JSON record, which
+// cmd/benchguard gates entry by entry.
 package main
 
 import (
@@ -62,6 +68,8 @@ import (
 	"github.com/tiled-la/bidiag/internal/baseline"
 	"github.com/tiled-la/bidiag/internal/critpath"
 	"github.com/tiled-la/bidiag/internal/experiments"
+	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/trees"
 )
@@ -147,7 +155,9 @@ func parseGrid(s string) (int, int, error) {
 // currentSchema versions the machine-readable benchmark records
 // (BENCH_*.json, planner.json). Bump it when fields change meaning;
 // cmd/benchguard warns when a committed reference predates it.
-const currentSchema = 2
+// Schema 3 adds the kernels array of per-kernel apply rates
+// (-stage apply records).
+const currentSchema = 3
 
 // perfResult is the machine-readable record of one timed GE2BND run, the
 // schema of the BENCH_*.json performance-trajectory files.
@@ -185,6 +195,10 @@ type perfResult struct {
 	CommVolume     float64 `json:"comm_volume_bytes,omitempty"`
 	PayloadBytes   int64   `json:"payload_bytes,omitempty"`
 	UtilizationPct float64 `json:"utilization_pct,omitempty"`
+
+	// Kernels are the per-kernel rates of a -stage apply run; nil for
+	// every other stage. benchguard compares entries by name.
+	Kernels []kernelRate `json:"kernels,omitempty"`
 
 	// Reconcile is the model-vs-measured report of one extra traced rep
 	// (shared-memory ge2bnd runs only): the simulated makespan of the
@@ -268,6 +282,114 @@ func runPerf(m, n, nb, workers, nodes, gridR, gridC, reps int, jsonPath string) 
 		fmt.Printf("comm: %d messages, %.2f MB modeled, %.2f MB payload\n",
 			res.CommCount, res.CommVolume/1e6, float64(res.PayloadBytes)/1e6)
 	}
+	return writeResult(res, jsonPath)
+}
+
+// kernelRate is one entry of a -stage apply record: a single kernel's
+// best measured rate. WallSeconds is the best seconds-per-call.
+type kernelRate struct {
+	Kernel      string  `json:"kernel"`
+	GFlops      float64 `json:"gflops"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// runPerfApply rates the four Householder-apply kernels in isolation at
+// tile size nb: the same steady-state loop the package benchmarks run
+// (factored reflectors applied to random trailing tiles with a warm
+// workspace), best rate of reps kept per kernel. The record's top-level
+// GFLOP/s is the flop-weighted aggregate — total apply flops over the
+// summed best per-call times — so the headline figure moves only when
+// the kernels themselves do.
+func runPerfApply(nb, reps int, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(42))
+	mk := func() *nla.Matrix { return nla.RandomMatrix(rng, nb, nb) }
+	tau := make([]float64, nb)
+
+	// UNMQR / TSMQR: column reflectors from GEQRT / TSQRT.
+	aq := mk()
+	tq := nla.NewMatrix(nb, nb)
+	kernels.GEQRT(aq, tq, tau, nil)
+	cq := mk()
+
+	ats1, ats2 := mk(), mk()
+	for j := 0; j < nb; j++ {
+		for i := j + 1; i < nb; i++ {
+			ats1.Set(i, j, 0)
+		}
+	}
+	tts := nla.NewMatrix(nb, nb)
+	kernels.TSQRT(ats1, ats2, tts, tau, nil)
+	cts1, cts2 := mk(), mk()
+
+	// UNMLQ / TSMLQ: row reflectors from GELQT / TSLQT.
+	al := mk()
+	tl := nla.NewMatrix(nb, nb)
+	kernels.GELQT(al, tl, tau, nil)
+	cl := mk()
+
+	atl1, atl2 := mk(), mk()
+	for j := 0; j < nb; j++ {
+		for i := 0; i < j; i++ {
+			atl1.Set(i, j, 0)
+		}
+	}
+	ttl := nla.NewMatrix(nb, nb)
+	kernels.TSLQT(atl1, atl2, ttl, tau, nil)
+	ctl1, ctl2 := mk(), mk()
+
+	cases := []struct {
+		kind  kernels.Kind
+		flops float64
+		run   func(ws *nla.Workspace)
+	}{
+		{kernels.UNMQRKind, kernels.FlopsUNMQR(nb, nb, nb),
+			func(ws *nla.Workspace) { kernels.UNMQR(true, nb, aq, tq, cq, ws) }},
+		{kernels.TSMQRKind, kernels.FlopsTSMQR(nb, nb, nb),
+			func(ws *nla.Workspace) { kernels.TSMQR(true, nb, ats2, tts, cts1, cts2, ws) }},
+		{kernels.UNMLQKind, kernels.FlopsUNMLQ(nb, nb, nb),
+			func(ws *nla.Workspace) { kernels.UNMLQ(true, nb, al, tl, cl, ws) }},
+		{kernels.TSMLQKind, kernels.FlopsTSMLQ(nb, nb, nb),
+			func(ws *nla.Workspace) { kernels.TSMLQ(true, nb, atl2, ttl, ctl1, ctl2, ws) }},
+	}
+
+	res := perfResult{
+		Experiment: "apply", M: nb, N: nb, NB: nb, Workers: 1, Reps: reps,
+	}
+	var totalFlops, totalSecs float64
+	for _, tc := range cases {
+		ws := nla.NewWorkspace(kernels.ScratchSize(tc.kind, nb, nb, nb))
+		tc.run(ws) // warm
+		// Enough iterations per rep that the timer resolution is noise.
+		iters := int(5e7/tc.flops) + 1
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				tc.run(ws)
+			}
+			if wall := time.Since(start); wall < best {
+				best = wall
+			}
+		}
+		perCall := best.Seconds() / float64(iters)
+		kr := kernelRate{
+			Kernel:      tc.kind.String(),
+			GFlops:      tc.flops / 1e9 / perCall,
+			WallSeconds: perCall,
+		}
+		res.Kernels = append(res.Kernels, kr)
+		totalFlops += tc.flops
+		totalSecs += perCall
+		fmt.Printf("%-6s nb=%d: %8.2f GFLOP/s  (%.1f µs/call, best of %d)\n",
+			kr.Kernel, nb, kr.GFlops, 1e6*perCall, reps)
+	}
+	res.WallSeconds = totalSecs
+	res.GFlops = totalFlops / 1e9 / totalSecs
+	fmt.Printf("APPLY nb=%d: %.2f GFLOP/s aggregate over %d kernels\n",
+		nb, res.GFlops, len(res.Kernels))
 	return writeResult(res, jsonPath)
 }
 
@@ -530,7 +652,7 @@ func main() {
 	nFlag := flag.Int("n", 0, "columns for the timed run (default: m)")
 	nbFlag := flag.Int("nb", 64, "tile size for the timed run")
 	kuFlag := flag.Int("ku", 64, "band width for a -stage bnd2bd timed run")
-	stage := flag.String("stage", "ge2bnd", "timed-run stage: ge2bnd, bnd2bd, full (fused end-to-end pipeline), or batch (service throughput)")
+	stage := flag.String("stage", "ge2bnd", "timed-run stage: ge2bnd, bnd2bd, full (fused end-to-end pipeline), batch (service throughput), or apply (isolated Householder-apply kernel rates)")
 	jobsFlag := flag.Int("jobs", 64, "workload size for a -stage batch timed run")
 	gateFlag := flag.Bool("gate", false, "-stage batch: fail unless batched throughput beats sequential")
 	windowFlag := flag.Int("window", 0, "BND2BD wavefront window for -stage full (0: default)")
@@ -555,6 +677,8 @@ func main() {
 		}
 		var err error
 		switch *stage {
+		case "apply":
+			err = runPerfApply(*nbFlag, *repsFlag, *jsonOut)
 		case "full":
 			m, n := *mFlag, *nFlag
 			if m <= 0 {
@@ -598,7 +722,7 @@ func main() {
 			}
 			err = runPerf(m, n, *nbFlag, *workersFlag, *nodes, gr, gc, *repsFlag, *jsonOut)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown -stage %q; want ge2bnd, bnd2bd, full or batch\n", *stage)
+			fmt.Fprintf(os.Stderr, "unknown -stage %q; want ge2bnd, bnd2bd, full, batch or apply\n", *stage)
 			os.Exit(2)
 		}
 		if err != nil {

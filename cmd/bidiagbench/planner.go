@@ -58,6 +58,7 @@ func plannerOptions(cfg plan.Config, workers int) (*bidiag.Options, error) {
 	return &bidiag.Options{
 		NB: cfg.NB, Tree: tree, Algorithm: alg,
 		Workers: workers, BND2BDWindow: cfg.Window, Fused: cfg.Fused,
+		Gemm: bidiag.GemmBlock(cfg.Gemm),
 	}, nil
 }
 

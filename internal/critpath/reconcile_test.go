@@ -81,6 +81,61 @@ func TestReconcileSecondShape(t *testing.T) {
 	}
 }
 
+// TestReconcileApplyKernelRates pins the model-vs-measured contract
+// after the AVX2 apply-kernel vectorization: the apply kinds dominate
+// the traced flops, their measured rates are present and positive, and
+// the makespan ratio still lands inside the documented [0.25, 4] bound
+// with the re-measured Eff entries.
+func TestReconcileApplyKernelRates(t *testing.T) {
+	// FlatTS reduction so the couplings run the TS kernels (Greedy runs TT).
+	const m, n, nb, workers = 384, 384, 48, 2
+	rng := rand.New(rand.NewSource(int64(m + n + nb)))
+	src := nla.RandomMatrix(rng, m, n)
+	sh := core.ShapeOf(m, n, nb)
+	p := pipeline.Build(pipeline.Spec{
+		Shape:  sh,
+		Data:   tile.FromDense(src, nb),
+		Config: core.Config{Tree: trees.FlatTS, Gamma: 2, Cores: workers},
+	})
+	tr := obs.NewTracer(workers, len(p.Graph.Tasks))
+	p.Graph.Tracer = tr
+	if _, err := pipeline.Run(p, pipeline.Pool{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	g, events, dropped := p.Graph, tr.Events(), tr.Dropped()
+	rep, err := Reconcile(g, workers, events, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanRatio < 0.25 || rep.MakespanRatio > 4 {
+		t.Fatalf("makespan ratio %v outside [0.25, 4]", rep.MakespanRatio)
+	}
+	var applyFlops, totalFlops float64
+	seen := map[string]bool{}
+	for _, kr := range rep.PerKind {
+		totalFlops += kr.Flops
+		switch kr.Kind {
+		case "UNMQR", "UNMLQ", "TSMQR", "TSMLQ":
+			if kr.GFlops <= 0 {
+				t.Fatalf("%s measured at %v GFlop/s", kr.Kind, kr.GFlops)
+			}
+			applyFlops += kr.Flops
+			seen[kr.Kind] = true
+		}
+	}
+	for _, kind := range []string{"UNMQR", "UNMLQ", "TSMQR", "TSMLQ"} {
+		if !seen[kind] {
+			t.Fatalf("apply kind %s missing from the reconciled per-kind rates", kind)
+		}
+	}
+	// GE2BND's flops live in the compact-WY applies (the motivation for
+	// vectorizing them); if this drops the DAG construction changed.
+	if applyFlops < 0.8*totalFlops {
+		t.Fatalf("apply kernels carry %.0f%% of traced flops, expected ≥80%%",
+			100*applyFlops/totalFlops)
+	}
+}
+
 func TestReconcileEmptyTrace(t *testing.T) {
 	g := sched.NewGraph()
 	if _, err := Reconcile(g, 2, nil, 0); err == nil {

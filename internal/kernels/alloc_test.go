@@ -146,6 +146,47 @@ func TestKernelsZeroAlloc(t *testing.T) {
 	}
 }
 
+// The left-apply kernels take a second scratch checkout (the k×k Tᵀ
+// staging in nla.TrmvApplyWS) only on the trans=false (apply-Q) path, so
+// the 0-alloc contract is pinned separately for it.
+func TestApplyKernelsZeroAllocNoTrans(t *testing.T) {
+	const nb = 48
+	rng := rand.New(rand.NewSource(5))
+	mk := func() *nla.Matrix { return nla.RandomMatrix(rng, nb, nb) }
+	tm := nla.NewMatrix(nb, nb)
+	tau := make([]float64, nb)
+
+	a := mk()
+	GEQRT(a, tm, tau, nil)
+	c := mk()
+	cases := []kernelCase{
+		{UNMQRKind, func(ws *nla.Workspace) { UNMQR(false, nb, a, tm, c, ws) }},
+	}
+	a1, a2 := mk(), mk()
+	for j := 0; j < nb; j++ {
+		for i := j + 1; i < nb; i++ {
+			a1.Set(i, j, 0)
+		}
+	}
+	tm2 := nla.NewMatrix(nb, nb)
+	TSQRT(a1, a2, tm2, tau, nil)
+	c1, c2 := mk(), mk()
+	cases = append(cases, kernelCase{TSMQRKind, func(ws *nla.Workspace) { TSMQR(false, nb, a2, tm2, c1, c2, ws) }})
+
+	for _, tc := range cases {
+		t.Run(tc.kind.String()+"/notrans", func(t *testing.T) {
+			ws := nla.NewWorkspace(ScratchSize(tc.kind, nb, nb, nb))
+			tc.run(ws) // warm
+			if n := testing.AllocsPerRun(10, func() { tc.run(ws) }); n != 0 {
+				t.Fatalf("%s allocated %v times per run with a warm workspace", tc.kind, n)
+			}
+			if ws.Grows() != 0 {
+				t.Fatalf("%s: workspace sized by ScratchSize grew %d times", tc.kind, ws.Grows())
+			}
+		})
+	}
+}
+
 // BenchmarkKernels measures the steady-state per-kernel rates with a warm
 // per-worker workspace — the configuration the executors run. Allocs/op
 // must be 0 for every kernel.

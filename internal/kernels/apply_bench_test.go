@@ -71,3 +71,58 @@ func BenchmarkTSMQR(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkUNMLQ applies a row-factored tile's reflectors to one nb×nb
+// trailing tile from the right: C·P, the LQ per-panel-row update.
+func BenchmarkUNMLQ(b *testing.B) {
+	for _, nb := range applyNBs {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			a := nla.RandomMatrix(rng, nb, nb)
+			tm := nla.NewMatrix(nb, nb)
+			tau := make([]float64, nb)
+			GELQT(a, tm, tau, nil)
+			c := nla.RandomMatrix(rng, nb, nb)
+			ws := nla.NewWorkspace(ScratchSize(UNMLQKind, nb, nb, nb))
+			UNMLQ(true, nb, a, tm, c, ws) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				UNMLQ(true, nb, a, tm, c, ws)
+			}
+			flops := FlopsUNMLQ(nb, nb, nb)
+			b.ReportMetric(flops*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkTSMLQ applies a TSLQT coupling's reflectors to a side-by-side
+// pair of trailing tiles — the LQ trailing-update workhorse.
+func BenchmarkTSMLQ(b *testing.B) {
+	for _, nb := range applyNBs {
+		b.Run(fmt.Sprintf("nb=%d", nb), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			a1 := nla.RandomMatrix(rng, nb, nb)
+			for j := 0; j < nb; j++ {
+				for i := 0; i < j; i++ {
+					a1.Set(i, j, 0)
+				}
+			}
+			a2 := nla.RandomMatrix(rng, nb, nb)
+			tm := nla.NewMatrix(nb, nb)
+			tau := make([]float64, nb)
+			TSLQT(a1, a2, tm, tau, nil)
+			c1 := nla.RandomMatrix(rng, nb, nb)
+			c2 := nla.RandomMatrix(rng, nb, nb)
+			ws := nla.NewWorkspace(ScratchSize(TSMLQKind, nb, nb, nb))
+			TSMLQ(true, nb, a2, tm, c1, c2, ws) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				TSMLQ(true, nb, a2, tm, c1, c2, ws)
+			}
+			flops := FlopsTSMLQ(nb, nb, nb)
+			b.ReportMetric(flops*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+		})
+	}
+}

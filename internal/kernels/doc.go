@@ -47,11 +47,11 @@
 //
 //	kernel  weight  scratch (float64s, nb×nb tiles)
 //	GEQRT     4     nb                        staged T column
-//	UNMQR     6     nb² + gemm pack           W panel (tail GEMMs when m>k)
+//	UNMQR     6     nb² + max(gemm pack, nb²) W panel; tail GEMMs (m>k) or Tᵀ staging
 //	TSQRT     6     nb                        staged T column
-//	TSMQR    12     nb² + gemm pack           W panel + packed V2/C2 panels
+//	TSMQR    12     nb² + max(gemm pack, nb²) W panel + packed V2/C2 panels or Tᵀ staging
 //	TTQRT     2     nb                        staged T column
-//	TTMQR     6     nb²                       W panel (trapezoidal V2, no GEMM)
+//	TTMQR     6     nb² + nb²                 W panel + Tᵀ staging (trapezoidal V2, no GEMM)
 //	GELQT     4     2·nb                      reflector row + staged T column
 //	UNMLQ     6     nb² + gemm pack           W panel (tail GEMMs when n>k)
 //	TSLQT     6     3·nb                      two staged rows + T column
@@ -64,5 +64,23 @@
 // "gemm pack" is nla.GemmScratchFor for the kernel's largest product: the
 // GEMM-rich kernels (the TS family and the UNM tails) bottom out in the
 // packed, register-tiled nla.GemmWS, whose A/B panels are packed into the
-// same workspace.
+// same workspace. "Tᵀ staging" is the k×k checkout of nla.TrmvApplyWS,
+// taken only by the left-apply kernels' no-trans (apply Q, not Qᵀ)
+// variant; the right applies of the LQ family read T in place.
+//
+// # Vectorized apply path
+//
+// The four inner-loop shapes the apply kernels (UNMQR/TSMQR and their LQ
+// duals) spend their time in — the triangular T application and the
+// unit-triangular V1 gather/scatter around it — are the nla primitives
+// Dot4, Axpy4, Gaxpy4 and the TrmvApplyWS/TrmvApplyRight drivers built
+// on them. On amd64 with AVX2+FMA they dispatch to hand-written
+// assembly micro-kernels (see internal/nla/apply_amd64.s); everywhere
+// else, and under BIDIAG_NOASM=1, a pure-Go fallback runs the identical
+// operation sequence. The dispatch is decided once per process, and
+// both paths use data-independent control flow (no skips on zero
+// coefficients), so sequential, parallel and distributed runs stay
+// bitwise identical to each other on either path. The TS kernels'
+// dense V2 half additionally runs through the packed GEMM micro-kernel
+// (internal/nla/gemm_amd64.s), which shares the same dispatch.
 package kernels

@@ -72,16 +72,24 @@ func UNMLQ(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 	ws, mark := grab(ws)
 	// W = C·Ṽ = C·V_storedᵀ, m×k with unit-upper V rows. As in UNMQR, the
 	// head (columns < k of C against the unit-triangular head of V) is a
-	// short triangular update and the tail a plain GEMM.
+	// gathered triangular update on the nla vector primitives and the
+	// tail a plain GEMM. No loop branches on data values, so the scalar
+	// and assembly paths execute the same operation sequence.
 	w := ws.Scratch(m, k)
 	for trow := 0; trow < k; trow++ {
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
 		copy(wc, c.Data[trow*c.LD:trow*c.LD+m])
-		for j := trow + 1; j < k; j++ {
+		j := trow + 1
+		for ; j+4 <= k; j += 4 {
+			nla.Gaxpy4(v.Data[trow+j*v.LD], v.Data[trow+(j+1)*v.LD], v.Data[trow+(j+2)*v.LD], v.Data[trow+(j+3)*v.LD],
+				c.Data[j*c.LD:j*c.LD+m],
+				c.Data[(j+1)*c.LD:(j+1)*c.LD+m],
+				c.Data[(j+2)*c.LD:(j+2)*c.LD+m],
+				c.Data[(j+3)*c.LD:(j+3)*c.LD+m],
+				wc)
+		}
+		for ; j < k; j++ {
 			vt := v.Data[trow+j*v.LD]
-			if vt == 0 {
-				continue
-			}
 			cc := c.Data[j*c.LD : j*c.LD+m]
 			for i := range wc {
 				wc[i] += vt * cc[i]
@@ -91,19 +99,26 @@ func UNMLQ(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 	if n > k {
 		nla.GemmWS(false, true, 1, c.View(0, k, m, n-k), v.View(0, k, k, n-k), 1, w, ws)
 	}
-	applyTRight(trans, k, t, w)
-	// C(:,0:k) −= W·V1 (unit-upper head), C(:,k:n) −= W·V2.
+	nla.TrmvApplyRight(trans, t, w)
+	// C(:,0:k) −= W·V1 (unit-upper head), C(:,k:n) −= W·V2: each W column
+	// scatters into four C columns per pass, one streamed read of W.
 	for trow := 0; trow < k; trow++ {
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
 		cc := c.Data[trow*c.LD : trow*c.LD+m]
 		for i := range wc {
 			cc[i] -= wc[i]
 		}
-		for j := trow + 1; j < k; j++ {
+		j := trow + 1
+		for ; j+4 <= k; j += 4 {
+			nla.Axpy4(-v.Data[trow+j*v.LD], -v.Data[trow+(j+1)*v.LD], -v.Data[trow+(j+2)*v.LD], -v.Data[trow+(j+3)*v.LD],
+				wc,
+				c.Data[j*c.LD:j*c.LD+m],
+				c.Data[(j+1)*c.LD:(j+1)*c.LD+m],
+				c.Data[(j+2)*c.LD:(j+2)*c.LD+m],
+				c.Data[(j+3)*c.LD:(j+3)*c.LD+m])
+		}
+		for ; j < k; j++ {
 			vt := v.Data[trow+j*v.LD]
-			if vt == 0 {
-				continue
-			}
 			cj := c.Data[j*c.LD : j*c.LD+m]
 			for i := range wc {
 				cj[i] -= wc[i] * vt
@@ -114,81 +129,6 @@ func UNMLQ(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 		nla.GemmWS(false, false, -1, w, v.View(0, k, k, n-k), 1, c.View(0, k, m, n-k), ws)
 	}
 	ws.Release(mark)
-}
-
-// applyTRight overwrites the m×k workspace with W·op(T), where T is k×k
-// upper triangular; op(T) = T when trans is true (the C·P update used by the
-// factorizations) and Tᵀ otherwise. Source columns are combined four at a
-// time: one store per four scaled-column additions instead of one each,
-// which is what keeps this kernel off the store-port limit.
-func applyTRight(trans bool, k int, t, w *nla.Matrix) {
-	m := w.Rows
-	if trans {
-		// W ← W·T: column j' = Σ_{l ≤ j'} W(:,l) T(l,j'); descending order
-		// keeps the still-needed original columns intact.
-		for j := k - 1; j >= 0; j-- {
-			wj := w.Data[j*w.LD : j*w.LD+m]
-			djj := t.Data[j+j*t.LD]
-			for i := range wj {
-				wj[i] *= djj
-			}
-			tc := t.Data[j*t.LD : j*t.LD+j]
-			var l int
-			for ; l+4 <= j; l += 4 {
-				t0, t1, t2, t3 := tc[l], tc[l+1], tc[l+2], tc[l+3]
-				w0 := w.Data[l*w.LD : l*w.LD+m]
-				w1 := w.Data[(l+1)*w.LD : (l+1)*w.LD+m]
-				w2 := w.Data[(l+2)*w.LD : (l+2)*w.LD+m]
-				w3 := w.Data[(l+3)*w.LD : (l+3)*w.LD+m]
-				for i := range wj {
-					wj[i] += t0*w0[i] + t1*w1[i] + t2*w2[i] + t3*w3[i]
-				}
-			}
-			for ; l < j; l++ {
-				tl := tc[l]
-				if tl == 0 {
-					continue
-				}
-				wl := w.Data[l*w.LD : l*w.LD+m]
-				for i := range wj {
-					wj[i] += tl * wl[i]
-				}
-			}
-		}
-	} else {
-		// W ← W·Tᵀ: column j' = Σ_{l ≥ j'} W(:,l) T(j',l); ascending order.
-		for j := 0; j < k; j++ {
-			wj := w.Data[j*w.LD : j*w.LD+m]
-			djj := t.Data[j+j*t.LD]
-			for i := range wj {
-				wj[i] *= djj
-			}
-			var l = j + 1
-			for ; l+4 <= k; l += 4 {
-				t0 := t.Data[j+l*t.LD]
-				t1 := t.Data[j+(l+1)*t.LD]
-				t2 := t.Data[j+(l+2)*t.LD]
-				t3 := t.Data[j+(l+3)*t.LD]
-				w0 := w.Data[l*w.LD : l*w.LD+m]
-				w1 := w.Data[(l+1)*w.LD : (l+1)*w.LD+m]
-				w2 := w.Data[(l+2)*w.LD : (l+2)*w.LD+m]
-				w3 := w.Data[(l+3)*w.LD : (l+3)*w.LD+m]
-				for i := range wj {
-					wj[i] += t0*w0[i] + t1*w1[i] + t2*w2[i] + t3*w3[i]
-				}
-			}
-			for ; l < k; l++ {
-				tl := t.Data[j+l*t.LD]
-				if tl == 0 {
-					continue
-				}
-				wl := w.Data[l*w.LD : l*w.LD+m]
-				for i := range wj {
-					wj[i] += tl * wl[i]
-				}
-			}
-		}
-	}
 }
 
 // TSLQT factors the triangle-on-square LQ pair [L, A2] (side by side):
@@ -258,7 +198,7 @@ func TSMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	c1v := c1.View(0, 0, m, k)
 	nla.CopyInto(w, c1v)
 	nla.GemmWS(false, true, 1, c2, vv, 1, w, ws)
-	applyTRight(trans, k, t, w)
+	nla.TrmvApplyRight(trans, t, w)
 	for trow := 0; trow < k; trow++ {
 		wc := w.Data[trow*w.LD : trow*w.LD+m]
 		cc := c1.Data[trow*c1.LD : trow*c1.LD+m]
@@ -349,7 +289,7 @@ func TTMLQ(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 			}
 		}
 	}
-	applyTRight(trans, k, t, w)
+	nla.TrmvApplyRight(trans, t, w)
 	for trow := 0; trow < k; trow++ {
 		r2 := min(trow+1, n2)
 		wc := w.Data[trow*w.LD : trow*w.LD+m]

@@ -61,13 +61,35 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 		panic("kernels: UNMQR: V and C row mismatch")
 	}
 	// Split V into its unit-lower k×k head V1 and dense tail V2 (dlarfb
-	// style): the V2 halves are plain GEMMs, the V1 halves short
-	// triangular updates.
+	// style): the V2 halves are plain GEMMs, the V1 halves 4-column
+	// register-blocked triangular updates on the nla vector primitives.
+	// None of the loops branch on data values, so the operation sequence
+	// is identical with and without the assembly micro-kernels.
 	ws, mark := grab(ws)
 	w := ws.Scratch(k, n)
-	// W = V1ᵀ·C(0:k,:) (unit-lower triangular).
-	for j := 0; j < n; j++ {
-		cc := c.Data[j*c.LD : j*c.LD+m]
+	// W = V1ᵀ·C(0:k,:) (unit-lower triangular): four columns of C share
+	// each streamed load of a V column.
+	var j int
+	for j = 0; j+4 <= n; j += 4 {
+		cc0 := c.Data[j*c.LD : j*c.LD+k]
+		cc1 := c.Data[(j+1)*c.LD : (j+1)*c.LD+k]
+		cc2 := c.Data[(j+2)*c.LD : (j+2)*c.LD+k]
+		cc3 := c.Data[(j+3)*c.LD : (j+3)*c.LD+k]
+		wc0 := w.Data[j*w.LD : j*w.LD+k]
+		wc1 := w.Data[(j+1)*w.LD : (j+1)*w.LD+k]
+		wc2 := w.Data[(j+2)*w.LD : (j+2)*w.LD+k]
+		wc3 := w.Data[(j+3)*w.LD : (j+3)*w.LD+k]
+		for tcol := 0; tcol < k; tcol++ {
+			vc := v.Data[tcol*v.LD+tcol+1 : tcol*v.LD+k]
+			s0, s1, s2, s3 := nla.Dot4(vc, cc0[tcol+1:], cc1[tcol+1:], cc2[tcol+1:], cc3[tcol+1:])
+			wc0[tcol] = cc0[tcol] + s0
+			wc1[tcol] = cc1[tcol] + s1
+			wc2[tcol] = cc2[tcol] + s2
+			wc3[tcol] = cc3[tcol] + s3
+		}
+	}
+	for ; j < n; j++ {
+		cc := c.Data[j*c.LD : j*c.LD+k]
 		wc := w.Data[j*w.LD : j*w.LD+k]
 		for tcol := 0; tcol < k; tcol++ {
 			s := cc[tcol]
@@ -82,16 +104,32 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 	if m > k {
 		nla.GemmWS(true, false, 1, v.View(k, 0, m-k, k), c.View(k, 0, m-k, n), 1, w, ws)
 	}
-	applyT(trans, k, t, w)
+	nla.TrmvApplyWS(trans, t, w, ws)
 	// C(0:k,:) −= V1·W (unit-lower), C(k:m,:) −= V2·W.
-	for j := 0; j < n; j++ {
-		cc := c.Data[j*c.LD : j*c.LD+m]
+	for j = 0; j+4 <= n; j += 4 {
+		cc0 := c.Data[j*c.LD : j*c.LD+k]
+		cc1 := c.Data[(j+1)*c.LD : (j+1)*c.LD+k]
+		cc2 := c.Data[(j+2)*c.LD : (j+2)*c.LD+k]
+		cc3 := c.Data[(j+3)*c.LD : (j+3)*c.LD+k]
+		wc0 := w.Data[j*w.LD : j*w.LD+k]
+		wc1 := w.Data[(j+1)*w.LD : (j+1)*w.LD+k]
+		wc2 := w.Data[(j+2)*w.LD : (j+2)*w.LD+k]
+		wc3 := w.Data[(j+3)*w.LD : (j+3)*w.LD+k]
+		for tcol := 0; tcol < k; tcol++ {
+			wt0, wt1, wt2, wt3 := wc0[tcol], wc1[tcol], wc2[tcol], wc3[tcol]
+			cc0[tcol] -= wt0
+			cc1[tcol] -= wt1
+			cc2[tcol] -= wt2
+			cc3[tcol] -= wt3
+			vc := v.Data[tcol*v.LD+tcol+1 : tcol*v.LD+k]
+			nla.Axpy4(-wt0, -wt1, -wt2, -wt3, vc, cc0[tcol+1:], cc1[tcol+1:], cc2[tcol+1:], cc3[tcol+1:])
+		}
+	}
+	for ; j < n; j++ {
+		cc := c.Data[j*c.LD : j*c.LD+k]
 		wc := w.Data[j*w.LD : j*w.LD+k]
 		for tcol := 0; tcol < k; tcol++ {
 			wt := wc[tcol]
-			if wt == 0 {
-				continue
-			}
 			cc[tcol] -= wt
 			vc := v.Data[tcol*v.LD : tcol*v.LD+k]
 			for i := tcol + 1; i < k; i++ {
@@ -103,73 +141,6 @@ func UNMQR(trans bool, k int, v, t, c *nla.Matrix, ws *nla.Workspace) {
 		nla.GemmWS(false, false, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n), ws)
 	}
 	ws.Release(mark)
-}
-
-// applyT overwrites each column w of the k×n workspace with op(T)·w, where
-// T is k×k upper triangular, op(T) = Tᵀ when trans is true (the Qᵀ case).
-// Columns are processed four at a time: the four recurrence chains are
-// independent, which keeps the floating-point pipeline full.
-func applyT(trans bool, k int, t, w *nla.Matrix) {
-	n := w.Cols
-	var j int
-	for j = 0; j+4 <= n; j += 4 {
-		w0 := w.Data[j*w.LD : j*w.LD+k]
-		w1 := w.Data[(j+1)*w.LD : (j+1)*w.LD+k]
-		w2 := w.Data[(j+2)*w.LD : (j+2)*w.LD+k]
-		w3 := w.Data[(j+3)*w.LD : (j+3)*w.LD+k]
-		if trans {
-			// w ← Tᵀ w: w'(i) = Σ_{l ≤ i} T(l,i) w(l); compute top-down in
-			// reverse so original entries survive until read.
-			for i := k - 1; i >= 0; i-- {
-				tc := t.Data[i*t.LD : i*t.LD+i+1]
-				d := tc[i]
-				s0, s1, s2, s3 := d*w0[i], d*w1[i], d*w2[i], d*w3[i]
-				for l := 0; l < i; l++ {
-					tv := tc[l]
-					s0 += tv * w0[l]
-					s1 += tv * w1[l]
-					s2 += tv * w2[l]
-					s3 += tv * w3[l]
-				}
-				w0[i], w1[i], w2[i], w3[i] = s0, s1, s2, s3
-			}
-		} else {
-			// w ← T w: w'(i) = Σ_{l ≥ i} T(i,l) w(l); ascending order keeps
-			// the still-needed entries intact.
-			for i := 0; i < k; i++ {
-				d := t.Data[i+i*t.LD]
-				s0, s1, s2, s3 := d*w0[i], d*w1[i], d*w2[i], d*w3[i]
-				for l := i + 1; l < k; l++ {
-					tv := t.Data[i+l*t.LD]
-					s0 += tv * w0[l]
-					s1 += tv * w1[l]
-					s2 += tv * w2[l]
-					s3 += tv * w3[l]
-				}
-				w0[i], w1[i], w2[i], w3[i] = s0, s1, s2, s3
-			}
-		}
-	}
-	for ; j < n; j++ {
-		wc := w.Data[j*w.LD : j*w.LD+k]
-		if trans {
-			for i := k - 1; i >= 0; i-- {
-				s := t.Data[i+i*t.LD] * wc[i]
-				for l := 0; l < i; l++ {
-					s += t.Data[l+i*t.LD] * wc[l]
-				}
-				wc[i] = s
-			}
-		} else {
-			for i := 0; i < k; i++ {
-				s := t.Data[i+i*t.LD] * wc[i]
-				for l := i + 1; l < k; l++ {
-					s += t.Data[i+l*t.LD] * wc[l]
-				}
-				wc[i] = s
-			}
-		}
-	}
 }
 
 // TSQRT factors the triangle-on-square pair [R; A2] where R = a1 is the n×n
@@ -249,7 +220,7 @@ func TSMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 	c1v := c1.View(0, 0, k, n)
 	nla.CopyInto(w, c1v)
 	nla.GemmWS(true, false, 1, vv, c2, 1, w, ws)
-	applyT(trans, k, t, w)
+	nla.TrmvApplyWS(trans, t, w, ws)
 	for j := 0; j < n; j++ {
 		wc := w.Data[j*w.LD : j*w.LD+k]
 		c1c := c1.Data[j*c1.LD:]
@@ -319,7 +290,7 @@ func TTMQR(trans bool, k int, v2, t, c1, c2 *nla.Matrix, ws *nla.Workspace) {
 			wc[tcol] = c1c[tcol] + nla.Dot(v2.Data[tcol*v2.LD:tcol*v2.LD+r2], c2c[:r2])
 		}
 	}
-	applyT(trans, k, t, w)
+	nla.TrmvApplyWS(trans, t, w, ws)
 	for j := 0; j < n; j++ {
 		wc := w.Data[j*w.LD : j*w.LD+k]
 		c1c := c1.Data[j*c1.LD:]

@@ -25,7 +25,9 @@ import (
 //	LACPY, LASET      no scratch
 //
 // The returned size is in float64 elements and includes the pack buffers
-// of every GemmWS call the kernel makes under the given blocking.
+// of every GemmWS call the kernel makes under the given blocking, plus
+// the k×k transpose staging nla.TrmvApplyWS checks out in the left-apply
+// kernels' no-trans (Q, not Qᵀ) variant.
 func ScratchSizeFor(kind Kind, m, n, k int, bl nla.Blocking) int {
 	switch kind {
 	case GEQRTKind:
@@ -34,6 +36,7 @@ func ScratchSizeFor(kind Kind, m, n, k int, bl nla.Blocking) int {
 		return k*n + max(
 			nla.GemmScratchFor(bl, k, n, m-k),
 			nla.GemmScratchFor(bl, m-k, n, k),
+			nla.TrmvApplyScratch(k),
 		)
 	case TSQRTKind:
 		return n
@@ -41,11 +44,12 @@ func ScratchSizeFor(kind Kind, m, n, k int, bl nla.Blocking) int {
 		return k*n + max(
 			nla.GemmScratchFor(bl, k, n, m),
 			nla.GemmScratchFor(bl, m, n, k),
+			nla.TrmvApplyScratch(k),
 		)
 	case TTQRTKind:
 		return n
 	case TTMQRKind:
-		return k * n
+		return k*n + nla.TrmvApplyScratch(k)
 	case GELQTKind:
 		return n + min(m, n)
 	case UNMLQKind:

@@ -25,6 +25,16 @@ func TestMirielCalibration(t *testing.T) {
 	if m.Eff[kernels.TSMQRKind] <= m.Eff[kernels.GEQRTKind] {
 		t.Fatalf("updates must be modeled as more efficient than panels")
 	}
+	// Re-measured with the vectorized apply kernels: the square-tile
+	// applies have no dense-GEMM half, so they sit well below the TS
+	// updates (traced ratio ≈ 0.54) — not near parity as the old
+	// MKL-derived 0.72/0.78 pair claimed.
+	if r := m.Eff[kernels.UNMQRKind] / m.Eff[kernels.TSMQRKind]; r < 0.4 || r > 0.7 {
+		t.Fatalf("UNMQR/TSMQR efficiency ratio %v outside the measured band [0.4, 0.7]", r)
+	}
+	if m.Eff[kernels.UNMLQKind] != m.Eff[kernels.UNMQRKind] || m.Eff[kernels.TSMLQKind] != m.Eff[kernels.TSMQRKind] {
+		t.Fatalf("LQ applies measured at parity with their QR twins")
+	}
 }
 
 func TestTimeOf(t *testing.T) {

@@ -1,0 +1,14 @@
+package nla
+
+// AVX2+FMA inner loops of the Householder-apply primitives (apply.go).
+// Gated by the same useAVX2 flag as dgemm8x4asm: decided once at init,
+// overridable with BIDIAG_NOASM=1, identical on every worker.
+
+//go:noescape
+func dot4asm(n int, x, y0, y1, y2, y3 *float64) (s0, s1, s2, s3 float64)
+
+//go:noescape
+func axpy4asm(n int, a0, a1, a2, a3 float64, x, y0, y1, y2, y3 *float64)
+
+//go:noescape
+func gaxpy4asm(n int, a0, a1, a2, a3 float64, x0, x1, x2, x3, y *float64)

@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package nla
+
+// Non-amd64 builds always use the portable apply primitives; these stubs
+// are unreachable because useAVX2 is the constant false.
+
+func dot4asm(n int, x, y0, y1, y2, y3 *float64) (s0, s1, s2, s3 float64) {
+	panic("nla: assembly micro-kernel not available on this architecture")
+}
+
+func axpy4asm(n int, a0, a1, a2, a3 float64, x, y0, y1, y2, y3 *float64) {
+	panic("nla: assembly micro-kernel not available on this architecture")
+}
+
+func gaxpy4asm(n int, a0, a1, a2, a3 float64, x0, x1, x2, x3, y *float64) {
+	panic("nla: assembly micro-kernel not available on this architecture")
+}

@@ -123,7 +123,8 @@ func validConfig(c Config, m, n int) bool {
 		m, n = n, m
 	}
 	return c.NB >= 1 && c.NB <= n && c.Window >= 0 &&
-		c.Tree >= trees.FlatTS && c.Tree <= trees.Auto
+		c.Tree >= trees.FlatTS && c.Tree <= trees.Auto &&
+		c.Gemm.MC >= 0 && c.Gemm.KC >= 0 && c.Gemm.NC >= 0
 }
 
 // LoadState reads and validates a persisted state file. A missing file,

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/trees"
 )
 
@@ -52,6 +53,14 @@ func TestEnumerateHonorsPins(t *testing.T) {
 		}
 	}
 
+	gemmReq := base
+	gemmReq.Gemm = nla.Blocking{MC: 32, KC: 64, NC: 128}
+	for _, c := range Enumerate(gemmReq) {
+		if c.Gemm != gemmReq.Gemm {
+			t.Fatalf("pinned gemm blocking, got candidate %s", c)
+		}
+	}
+
 	algReq := Request{M: 4096, N: 256, Workers: 8, Kind: KindValues, Alg: AlgBidiag}
 	for _, c := range Enumerate(algReq) {
 		if c.RBidiag {
@@ -92,6 +101,44 @@ func TestEnumerateValidity(t *testing.T) {
 	}
 	if Enumerate(Request{M: 0, N: 5}) != nil {
 		t.Fatal("empty shape should enumerate nothing")
+	}
+}
+
+// TestEnumerateGemmVariants checks the blocking grid: the non-default
+// GEMM blocking is offered only at nb ≥ altBlockingMinNB, the default
+// enumerates first within each tile size (so ModelPick ties keep it),
+// and ModelPick itself resolves to the default blocking — the cost
+// model cannot distinguish blockings, so the variant exists for the
+// tuner's measurements.
+func TestEnumerateGemmVariants(t *testing.T) {
+	req := Request{M: 1024, N: 1024, Workers: 8, Kind: KindValues}
+	sawAlt := false
+	seenDefault := map[int]bool{}
+	for _, c := range Enumerate(req) {
+		switch c.Gemm {
+		case nla.Blocking{}:
+			seenDefault[c.NB] = true
+		case altBlocking:
+			sawAlt = true
+			if c.NB < altBlockingMinNB {
+				t.Fatalf("alternate blocking offered at nb=%d < %d: %s", c.NB, altBlockingMinNB, c)
+			}
+			if !seenDefault[c.NB] {
+				t.Fatalf("alternate blocking enumerated before the default at nb=%d", c.NB)
+			}
+		default:
+			t.Fatalf("unexpected blocking in candidate %s", c)
+		}
+	}
+	if !sawAlt {
+		t.Fatal("no alternate-blocking candidate at a shape admitting nb >= 96")
+	}
+	pick, err := ModelPick(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Gemm != (nla.Blocking{}) {
+		t.Fatalf("ModelPick chose non-default blocking %s; ties must keep the default", pick)
 	}
 }
 

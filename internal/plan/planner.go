@@ -11,6 +11,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/kernels"
 	"github.com/tiled-la/bidiag/internal/machine"
+	"github.com/tiled-la/bidiag/internal/nla"
 	"github.com/tiled-la/bidiag/internal/pipeline"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/trees"
@@ -75,6 +76,8 @@ type Request struct {
 	TreeSet bool
 	// Window pins the BND2BD wavefront window when > 0.
 	Window int
+	// Gemm pins the packed-GEMM cache blocking when nonzero.
+	Gemm nla.Blocking
 	// Alg pins direct vs R-bidiagonalization.
 	Alg Alg
 	// FuseOnly restricts candidates to fused plans (the serving layer's
@@ -105,6 +108,11 @@ type Config struct {
 	Window  int        `json:"window"`
 	Fused   bool       `json:"fused"`
 	RBidiag bool       `json:"rbidiag"`
+	// Gemm is the packed-GEMM cache blocking; the zero value selects
+	// nla.DefaultBlocking. The cost model cannot distinguish blockings
+	// (stage-1 pricing keys ignore it), so the non-default variant only
+	// wins through the tuner's measurements, never at ModelPick ties.
+	Gemm nla.Blocking `json:"gemm"`
 }
 
 func (c Config) String() string {
@@ -116,7 +124,11 @@ func (c Config) String() string {
 	if c.RBidiag {
 		alg = "rbidiag"
 	}
-	return fmt.Sprintf("nb=%d tree=%s window=%d %s %s", c.NB, c.Tree, c.Window, mode, alg)
+	s := fmt.Sprintf("nb=%d tree=%s window=%d %s %s", c.NB, c.Tree, c.Window, mode, alg)
+	if c.Gemm != (nla.Blocking{}) {
+		s += fmt.Sprintf(" gemm=%dx%dx%d", c.Gemm.MC, c.Gemm.KC, c.Gemm.NC)
+	}
+	return s
 }
 
 // Rates is the per-kernel pricing table: flop/s per kernel kind at the
@@ -154,6 +166,16 @@ var nbCandidates = [...]int{32, 48, 64, 96, 128}
 // bidiagonalization (Section V); FlatTT is dominated by Greedy on every
 // measured shape, so it is only priced when pinned.
 var treeCandidates = [...]trees.Kind{trees.Auto, trees.FlatTS, trees.Greedy}
+
+// altBlocking is the one non-default GEMM cache blocking the planner
+// offers: a tighter L2-resident panel set for the tile-sized operands
+// the apply kernels feed the packed GEMM (the defaults assume large
+// operands). Only enumerated at nb ≥ altBlockingMinNB — below that the
+// TSMQR GEMM half fits the default MC×KC panel outright and the
+// variant merely doubles the candidate count.
+var altBlocking = nla.Blocking{MC: 64, KC: 128, NC: 256}
+
+const altBlockingMinNB = 96
 
 // maxPlanTasks bounds the DAG size the planner will build for pricing:
 // planning must stay a few hundred milliseconds, and each candidate
@@ -243,10 +265,21 @@ func Enumerate(req Request) []Config {
 	var out []Config
 	for _, rb := range algs {
 		for _, nb := range nbs {
+			// The default blocking enumerates first so ModelPick's stable
+			// tie-break keeps it (the pricer cannot tell blockings apart);
+			// the alternate rides along for the tuner to measure.
+			gemms := []nla.Blocking{{}}
+			if req.Gemm != (nla.Blocking{}) {
+				gemms = []nla.Blocking{req.Gemm}
+			} else if nb >= altBlockingMinNB {
+				gemms = append(gemms, altBlocking)
+			}
 			for _, tk := range tks {
 				for _, win := range windows {
 					for _, fu := range fuseds {
-						out = append(out, Config{NB: nb, Tree: tk, Window: win, Fused: fu, RBidiag: rb})
+						for _, gm := range gemms {
+							out = append(out, Config{NB: nb, Tree: tk, Window: win, Fused: fu, RBidiag: rb, Gemm: gm})
+						}
 					}
 				}
 			}

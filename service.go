@@ -403,11 +403,14 @@ func (s *Service) request(req JobRequest) (serve.Request, error) {
 	// blocking (it parameterizes the workers' workspaces): only jobs on
 	// the default blocking may gang, or one member's Options.Gemm would
 	// silently apply to its batch-mates and break their bitwise identity
-	// with solo runs. Custom-blocking jobs simply run solo. Auto jobs
-	// additionally gang only once their profile is promoted: exploration
-	// needs solo runs so the meter measures one clean graph.
+	// with solo runs. Custom-blocking jobs simply run solo — including
+	// auto jobs whose promoted plan carries a non-default blocking (the
+	// planner enumerates one such variant), which is why the check reads
+	// the RESOLVED options. Auto jobs additionally gang only once their
+	// profile is promoted: exploration needs solo runs so the meter
+	// measures one clean graph.
 	gang := s.gangDim > 0 && max(req.A.Rows(), req.A.Cols()) <= s.gangDim &&
-		opts.Gemm == GemmBlock{} && (!auto || promoted)
+		run.Gemm == GemmBlock{} && (!auto || promoted)
 	return serve.Request{
 		Build:   build,
 		Key:     key,

@@ -51,11 +51,14 @@ type record struct {
 	Kernels []kernelRate `json:"kernels"`
 
 	// Reconcile carries the model-vs-measured telemetry bidiagbench
-	// attaches to shared-memory records. It is machine- and load-
-	// dependent diagnostic data, not a tracked figure: the guard parses
-	// it for schema forward compatibility and deliberately never
-	// compares it.
-	Reconcile json.RawMessage `json:"reconcile,omitempty"`
+	// attaches to shared-memory records, CommFit and CommReconcile the
+	// measured α-β communication model of a commcal cluster record. All
+	// three are machine- and load-dependent diagnostic data, not tracked
+	// figures: the guard parses them for schema forward compatibility and
+	// deliberately never compares them.
+	Reconcile     json.RawMessage `json:"reconcile,omitempty"`
+	CommFit       json.RawMessage `json:"comm_fit,omitempty"`
+	CommReconcile json.RawMessage `json:"comm_reconcile,omitempty"`
 }
 
 // kernelRate mirrors one entry of a -stage apply record's kernels array.
@@ -85,17 +88,42 @@ func load(path string) (record, error) {
 	if r.GFlops <= 0 && r.JobsPerSec <= 0 {
 		return r, fmt.Errorf("%s: missing or non-positive gflops / jobs_per_sec", path)
 	}
-	r.Reconcile = nil // parsed for forward compatibility, never compared
+	// Parsed for forward compatibility, never compared.
+	r.Reconcile, r.CommFit, r.CommReconcile = nil, nil, nil
 	return r, nil
 }
 
 func main() {
 	refPath := flag.String("ref", "", "checked-in reference BENCH_*.json")
 	newPath := flag.String("new", "", "freshly measured BENCH_*.json")
+	checkPath := flag.String("check", "", "schema-validate one BENCH_*.json and exit (no comparison)")
 	tol := flag.Float64("tol", 0.25, "maximum allowed relative GFLOP/s regression")
 	flag.Parse()
+	// -check accepts records whose figures are environment-bound rather
+	// than trend-tracked (the commcal cluster record): the committed file
+	// must parse with a positive rate, but is never compared to a fresh
+	// measurement.
+	if *checkPath != "" {
+		if *refPath != "" || *newPath != "" {
+			fmt.Fprintln(os.Stderr, "benchguard: -check excludes -ref/-new")
+			os.Exit(2)
+		}
+		r, err := load(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if r.Schema < currentSchema {
+			fmt.Fprintf(os.Stderr, "benchguard: warning: %s has schema %d, current is %d\n",
+				*checkPath, r.Schema, currentSchema)
+		}
+		rate, unit := r.rate()
+		fmt.Printf("%s: %s %dx%d schema %d, %.2f %s — schema OK\n",
+			*checkPath, r.Experiment, r.M, r.N, r.Schema, rate, unit)
+		return
+	}
 	if *refPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchguard -ref <committed.json> -new <measured.json> [-tol 0.25]")
+		fmt.Fprintln(os.Stderr, "usage: benchguard -ref <committed.json> -new <measured.json> [-tol 0.25] | benchguard -check <committed.json>")
 		os.Exit(2)
 	}
 	ref, err := load(*refPath)

@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -74,7 +76,11 @@ func TestClusterHTTPSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := &clusterServer{head: head, wpn: 2, nodes: 2, grid: grid, start: time.Now(), maxBody: defaultMaxBody}
+	h := &clusterServer{
+		head: head, wpn: 2, nodes: 2, grid: grid, tr: tr,
+		start: time.Now(), maxBody: defaultMaxBody,
+		traces: newClusterTraceStore(traceStoreCap),
+	}
 	ts := httptest.NewServer(h.mux())
 	defer ts.Close()
 	cl := client.New(ts.URL)
@@ -112,22 +118,21 @@ func TestClusterHTTPSurface(t *testing.T) {
 		t.Fatalf("healthz: %v", health)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	buf := make([]byte, 1<<16)
-	n, _ := resp.Body.Read(buf)
-	text := string(buf[:n])
+	text := getText(t, ts.URL+"/metrics")
 	for _, want := range []string{
 		"bidiagd_cluster_nodes 2",
 		`bidiagd_cluster_jobs_total{result="done"} 1`,
 		"bidiagd_cluster_comm_bytes_total",
+		"bidiagd_trace_dropped_events_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("cluster metrics missing %q in:\n%s", want, text)
 		}
+	}
+	// The global wire counters were replaced by per-link series; a
+	// ChanTransport has no links, so this surface simply omits them.
+	if strings.Contains(text, "bidiagd_cluster_wire_bytes_total") {
+		t.Fatalf("removed global wire counter still exported:\n%s", text)
 	}
 
 	if err := head.Close(); err != nil {
@@ -136,5 +141,193 @@ func TestClusterHTTPSurface(t *testing.T) {
 	peerWG.Wait()
 	if peerErr != nil {
 		t.Fatalf("peer: %v", peerErr)
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestClusterTraceHTTP drives the full distributed-tracing surface over
+// a real 2-rank loopback-TCP mesh: a ?trace=1 job returns a job_id,
+// /debug/trace/{id} renders Chrome JSON with one process lane per rank
+// and flow arrows, ?format=raw round-trips through ParseMergedTrace, and
+// both ranks' /metrics expose their ends of the per-link wire series.
+func TestClusterTraceHTTP(t *testing.T) {
+	grid := dist.Grid{R: 2, C: 1}
+	trs, err := dist.LoopbackTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	var peerWG sync.WaitGroup
+	peerWG.Add(1)
+	var peerErr error
+	go func() {
+		defer peerWG.Done()
+		peerErr = cluster.ServePeer(cluster.Config{Grid: grid, Transport: trs[1], Rank: 1, StallTimeout: 30 * time.Second})
+	}()
+	head, err := cluster.NewHead(cluster.Config{Grid: grid, Transport: trs[0], Rank: 0, StallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &clusterServer{
+		head: head, wpn: 2, nodes: 2, grid: grid, tr: trs[0],
+		start: time.Now(), maxBody: defaultMaxBody,
+		traces: newClusterTraceStore(traceStoreCap),
+	}
+	ts := httptest.NewServer(h.mux())
+	defer ts.Close()
+	peer := &peerServer{rank: 1, nodes: 2, grid: grid, tr: trs[1], start: time.Now()}
+	pts := httptest.NewServer(peer.mux())
+	defer pts.Close()
+	cl := client.New(ts.URL)
+
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: diag212, Options: &httpapi.Options{NB: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.S) != 2 || math.Abs(out.S[0]-2) > 1e-12 || math.Abs(out.S[1]-1) > 1e-12 {
+		t.Fatalf("traced cluster s = %v, want [2 1]", out.S)
+	}
+	if out.JobID == "" {
+		t.Fatal("traced cluster job returned no job_id")
+	}
+
+	// Chrome rendering: per-rank process lanes and at least one flow
+	// arrow (the mesh is real TCP, so frames crossed processes).
+	blob, err := cl.Trace(context.Background(), out.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+		Meta struct {
+			Ranks int `json:"ranks"`
+			WPN   int `json:"wpn"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("chrome document: %v", err)
+	}
+	if doc.Meta.Ranks != 2 || doc.Meta.WPN != 2 {
+		t.Fatalf("chrome metadata: %+v", doc.Meta)
+	}
+	lanes := map[int]bool{}
+	flows := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			lanes[ev.PID] = true
+		}
+		if ev.Ph == "s" {
+			flows++
+		}
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("events span %d process lanes, want both ranks", len(lanes))
+	}
+	if flows == 0 {
+		t.Fatal("chrome trace has no flow arrows")
+	}
+
+	// Raw format parses back into a MergedTrace.
+	resp, err := http.Get(ts.URL + "/debug/trace/" + out.JobID + "?format=raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := cluster.ParseMergedTrace(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Ranks != 2 || len(mt.Events) == 0 {
+		t.Fatalf("raw trace: ranks %d, %d events", mt.Ranks, len(mt.Events))
+	}
+
+	// Unknown formats and unknown IDs are client errors.
+	if resp, err := http.Get(ts.URL + "/debug/trace/" + out.JobID + "?format=bogus"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus format: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/debug/trace/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Both ends of the link export their telemetry: the head sent frames
+	// to rank 1 and vice versa, and the handshake clock gauges are there.
+	headText := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`bidiagd_link_sent_frames_total{from="0",to="1"}`,
+		`bidiagd_link_recv_frames_total{from="1",to="0"}`,
+		`bidiagd_link_sent_bytes_total{from="0",to="1"}`,
+		`bidiagd_link_send_seconds_bucket{from="0",to="1",le=`,
+		`bidiagd_link_queue_wait_seconds_count{from="0",to="1"}`,
+		`bidiagd_clock_offset_seconds{peer="1"}`,
+		`bidiagd_clock_rtt_seconds{peer="1"}`,
+	} {
+		if !strings.Contains(headText, want) {
+			t.Fatalf("head metrics missing %q in:\n%s", want, headText)
+		}
+	}
+	peerText := getText(t, pts.URL+"/metrics")
+	for _, want := range []string{
+		`bidiagd_link_sent_frames_total{from="1",to="0"}`,
+		`bidiagd_link_recv_frames_total{from="0",to="1"}`,
+		`bidiagd_clock_offset_seconds{peer="0"}`,
+	} {
+		if !strings.Contains(peerText, want) {
+			t.Fatalf("peer metrics missing %q in:\n%s", want, peerText)
+		}
+	}
+	ph, err := http.Get(pts.URL + "/healthz")
+	if err != nil || ph.StatusCode != http.StatusOK {
+		t.Fatalf("peer healthz: %v %v", ph, err)
+	}
+	ph.Body.Close()
+
+	if err := head.Close(); err != nil {
+		t.Fatal(err)
+	}
+	peerWG.Wait()
+	if peerErr != nil {
+		t.Fatalf("peer: %v", peerErr)
+	}
+}
+
+// TestClusterTraceStoreEviction mirrors the single-process store test
+// for the merged-trace store.
+func TestClusterTraceStoreEviction(t *testing.T) {
+	store := newClusterTraceStore(2)
+	mt := &cluster.MergedTrace{Ranks: 2, WPN: 1}
+	id1 := store.put(mt)
+	id2 := store.put(mt)
+	id3 := store.put(mt)
+	if _, ok := store.get(id1); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	for _, id := range []string{id2, id3} {
+		if _, ok := store.get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
 	}
 }

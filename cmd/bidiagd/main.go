@@ -58,6 +58,7 @@ func main() {
 	maxBodyMB := flag.Int64("max-body-mb", 0, "largest accepted request body in MiB (0: default 32)")
 	profiles := flag.String("profiles", "", "persist plan-autotuner profiles at this path so restarts keep promoted plans (empty: in-memory only)")
 	planSamples := flag.Int("plan-min-samples", 0, "measured runs per candidate before a plan is promoted (0: default 3, negative: never promote)")
+	traceCap := flag.Int("trace-event-cap", 0, "per-worker trace-ring capacity of ?trace=1 jobs (0: size to the job's task count; smaller caps bound trace memory and drop excess events)")
 	node := flag.Int("node", -1, "cluster mode: this process's rank in -peers (rank 0 serves HTTP, others compute)")
 	peers := flag.String("peers", "", "cluster mode: comma-separated mesh addresses, one per rank (index = rank)")
 	gridSpec := flag.String("grid", "", "cluster mode: process grid as RxC (default: Nx1 over the peer list)")
@@ -91,6 +92,7 @@ func main() {
 
 		PlanProfiles:   *profiles,
 		PlanMinSamples: *planSamples,
+		TraceEventCap:  *traceCap,
 	})
 	defer svc.Close()
 

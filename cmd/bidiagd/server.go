@@ -92,6 +92,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("bidiagd_gang_jobs_total", "Member jobs carried by gang graphs.", float64(st.GangJobs))
 	counter("bidiagd_cache_hits_total", "Result-cache hits.", float64(st.CacheHits))
 	counter("bidiagd_cache_misses_total", "Result-cache misses.", float64(st.CacheMisses))
+	counter("bidiagd_trace_dropped_events_total", "Trace-ring events dropped by traced jobs whose rings overflowed (-trace-event-cap).", float64(st.TraceDropped))
 	reg.Histogram("bidiagd_job_latency_seconds", "Job latency, enqueue to completion (cache hits included).", func() obs.HistogramSnapshot {
 		return obs.HistogramSnapshot{Bounds: st.Latency.Bounds, Counts: st.Latency.Counts, Sum: st.Latency.Sum, Count: st.Latency.Count}
 	})

@@ -280,6 +280,41 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceEventCapOverflow bounds a traced job's rings below its task
+// count: the job still finishes with a (partial) timeline, and the lost
+// events are counted in the service stats and the Prometheus surface.
+func TestTraceEventCapOverflow(t *testing.T) {
+	svc := bidiag.NewService(&bidiag.ServiceConfig{Workers: 2, TraceEventCap: 1})
+	ts := httptest.NewServer(newMux(svc, time.Now(), 0))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	cl := client.New(ts.URL)
+
+	// An 8x8 nb-1 reduction has far more than Workers×1 tasks, so the
+	// one-slot rings must overflow.
+	m := httpapi.Matrix{M: 8, N: 8, Data: make([]float64, 64)}
+	for i := 0; i < 8; i++ {
+		m.Data[i*8+i] = float64(i + 1)
+	}
+	out, err := cl.PostValues(context.Background(), httpapi.Job{Matrix: m, Options: &httpapi.Options{NB: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JobID == "" {
+		t.Fatal("capped traced job returned no job_id")
+	}
+	st := svc.Stats()
+	if st.TraceDropped == 0 {
+		t.Fatal("one-slot trace rings overflowed nothing")
+	}
+	text := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(text, "bidiagd_trace_dropped_events_total") {
+		t.Fatalf("metrics missing bidiagd_trace_dropped_events_total:\n%s", text)
+	}
+	if strings.Contains(text, "bidiagd_trace_dropped_events_total 0\n") {
+		t.Fatal("dropped-events counter stuck at zero after an overflow")
+	}
+}
+
 // TestTraceStoreEviction pins the FIFO bound on retained traces.
 func TestTraceStoreEviction(t *testing.T) {
 	store := newTraceStore(2)

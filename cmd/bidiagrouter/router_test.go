@@ -194,10 +194,21 @@ func TestRouterAffinityAndFailover(t *testing.T) {
 		`result="routed"`,
 		`result="retried"`,
 		"bidiagrouter_backend_healthy",
+		"bidiagrouter_backend_attempt_seconds_bucket",
+		"bidiagrouter_backend_attempt_seconds_count",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+	// Every forward attempt — including the dial failure that triggered
+	// the failover — is observed against its backend.
+	var attempts uint64
+	for _, b := range rt.backends {
+		attempts += b.latency.Snapshot().Count
+	}
+	if routed := rt.backends[b1.URL].routed.Load() + rt.backends[b2.URL].routed.Load(); attempts <= uint64(routed) {
+		t.Fatalf("attempt histograms hold %d observations, want > %d routed (dial failures observed too)", attempts, routed)
 	}
 }
 

@@ -27,6 +27,10 @@ type backend struct {
 	routed  atomic.Int64
 	retried atomic.Int64
 	failed  atomic.Int64
+	// latency observes every forward attempt against this backend —
+	// success, relayed error, or dial failure — end to end as the router
+	// sees it (job execution included, so TimeBuckets-scale).
+	latency *obs.Histogram
 }
 
 // router shards jobs over a bidiagd fleet by consistent-hashing the
@@ -51,7 +55,7 @@ func newRouter(urls []string, vnodes int, maxBody int64) *router {
 		maxBody:  maxBody,
 	}
 	for _, u := range urls {
-		b := &backend{url: u, cl: client.New(u)}
+		b := &backend{url: u, cl: client.New(u), latency: obs.NewHistogram(nil)}
 		b.healthy.Store(true) // optimistic until the first probe
 		rt.backends[u] = b
 	}
@@ -170,6 +174,7 @@ func (rt *router) route(w http.ResponseWriter, r *http.Request, kind bidiag.JobK
 // returns false only for unreachable backends (the one retryable case);
 // everything served — success or error — is written and final.
 func (rt *router) forward(w http.ResponseWriter, ctx context.Context, b *backend, kind bidiag.JobKind, job httpapi.Job, trace bool) bool {
+	begin := time.Now()
 	var out any
 	var err error
 	if kind == bidiag.JobSVD {
@@ -177,6 +182,7 @@ func (rt *router) forward(w http.ResponseWriter, ctx context.Context, b *backend
 	} else {
 		out, err = b.cl.PostValues(ctx, job, trace)
 	}
+	b.latency.Observe(time.Since(begin).Seconds())
 	if err == nil {
 		b.routed.Add(1)
 		writeJSON(w, http.StatusOK, out)
@@ -266,6 +272,16 @@ func (rt *router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return vals
+	})
+	reg.LabeledHistogram("bidiagrouter_backend_attempt_seconds", "Forward-attempt latency per backend as the router sees it (job execution included).", func() []obs.LabeledHist {
+		var out []obs.LabeledHist
+		for _, url := range sortedURLs(rt.backends) {
+			out = append(out, obs.LabeledHist{
+				Label: fmt.Sprintf("backend=%q", url),
+				Hist:  rt.backends[url].latency.Snapshot(),
+			})
+		}
+		return out
 	})
 	reg.ServeHTTP(w, r)
 }

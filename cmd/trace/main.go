@@ -2,7 +2,7 @@
 // (load in chrome://tracing or https://ui.perfetto.dev): a Gantt view of
 // how the chosen reduction tree fills the machine.
 //
-// It has two modes with one output format:
+// It has three modes with one output format:
 //
 //   - Simulated (default): builds the task graph for a p×q tile grid and
 //     runs the virtual list scheduler over unit weights (nb³/3). The
@@ -15,11 +15,18 @@
 //     the model-vs-measured reconciliation (predicted vs observed
 //     makespan) for the run.
 //
+//   - Cluster (-cluster FILE): renders a gathered multi-rank trace — the
+//     ?format=raw document of a bidiagd cluster head's /debug/trace/{id}
+//     endpoint — as Chrome JSON with one process lane per rank and flow
+//     arrows tying each send to its recv.
+//
 // Usage:
 //
 //	trace -p 32 -q 8 -tree Greedy -workers 8 -o schedule.json
 //	trace -p 16 -q 16 -tree Auto -rbidiag -o rbidiag.json
 //	trace -measured -m 1024 -n 512 -nb 64 -workers 4 -o measured.json
+//	curl -s 'head:8097/debug/trace/j000001?format=raw' > job.raw.json
+//	trace -cluster job.raw.json -o job.json
 package main
 
 import (
@@ -27,8 +34,10 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/tiled-la/bidiag/internal/cluster"
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/experiments"
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/trees"
 )
@@ -44,8 +53,14 @@ func main() {
 	n := flag.Int("n", 512, "matrix columns (measured mode)")
 	nb := flag.Int("nb", 64, "tile size (measured mode)")
 	fused := flag.Bool("fused", false, "fuse BND2BD into the graph (measured mode)")
+	clusterFile := flag.String("cluster", "", "render this gathered multi-rank trace file (the ?format=raw document of /debug/trace/{id}) instead of tracing locally")
 	out := flag.String("o", "schedule.json", "output file")
 	flag.Parse()
+
+	if *clusterFile != "" {
+		runCluster(*clusterFile, *out)
+		return
+	}
 
 	tree, err := trees.ParseKind(*treeName)
 	if err != nil {
@@ -94,6 +109,42 @@ func runMeasured(tree trees.Kind, m, n, nb, workers int, fused bool, out string)
 		rep.TracedTasks, rep.Workers,
 		rep.WallSeconds*1e3, rep.PredictedWallSeconds*1e3, rep.MakespanRatio,
 		rep.UtilizationPct, rep.MeasuredGFlops, out)
+}
+
+// runCluster re-renders a gathered multi-rank trace (a MergedTrace JSON
+// document saved from the cluster head) as Chrome tracing JSON.
+func runCluster(in, out string) {
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mt, err := cluster.ParseMergedTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", in, err)
+		os.Exit(1)
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer o.Close()
+	if err := mt.WriteChrome(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tasks, comms := 0, 0
+	for _, ev := range mt.Events {
+		if ev.Op == obs.OpTask {
+			tasks++
+		} else {
+			comms++
+		}
+	}
+	fmt.Printf("%d ranks (grid %s, %d workers/rank), %d task + %d comm events, %d dropped → %s (cluster)\n",
+		mt.Ranks, mt.Grid, mt.WPN, tasks, comms, mt.DroppedTotal(), out)
 }
 
 func writeTrace(path string, events []sched.TraceEvent, timeUnit float64) {

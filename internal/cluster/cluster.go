@@ -29,6 +29,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/core"
 	"github.com/tiled-la/bidiag/internal/dist"
 	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/tile"
 )
@@ -74,6 +75,12 @@ type jobSpec struct {
 	WPN   int `json:"wpn"`
 	GridR int `json:"gridR"`
 	GridC int `json:"gridC"`
+	// Trace asks every rank to attach an obs.Tracer and ship its events
+	// back to the head after the job; Seq is the head's job sequence
+	// number, echoed in each trace frame so a stale frame left over from
+	// an aborted earlier traced job cannot be mistaken for this one's.
+	Trace bool  `json:"trace,omitempty"`
+	Seq   int64 `json:"seq,omitempty"`
 }
 
 const (
@@ -158,7 +165,8 @@ type Head struct {
 	cfg Config
 	dx  *demux
 
-	mu sync.Mutex
+	mu  sync.Mutex
+	seq int64 // last issued job sequence number (under mu)
 }
 
 // NewHead attaches a Head to rank 0 of the mesh.
@@ -182,43 +190,98 @@ type JobOptions struct {
 	// the job spec: the tree autotuning depends on it, so every rank
 	// must use the same value.
 	WorkersPerNode int
+	// Trace collects a distributed trace of the job: every rank records
+	// task and comm events, ships them to the head afterwards, and the
+	// JobResult carries the clock-aligned merge. Costs memory on every
+	// rank plus one trace frame per peer; results stay bitwise-identical.
+	Trace bool
+}
+
+// JobResult is everything one cluster job produces on the head.
+type JobResult struct {
+	// Values are the singular values of the input.
+	Values []float64
+	// Exec is rank 0's execution result (communication accounting, wire
+	// stats for the executor's own frames).
+	Exec *dist.Result
+	// Trace is the clock-aligned multi-rank trace, nil unless
+	// JobOptions.Trace was set.
+	Trace *MergedTrace
 }
 
 // SingularValues runs one GE2BND job across the mesh and returns the
 // singular values of a, plus rank 0's execution result (communication
 // accounting, wire stats).
 func (h *Head) SingularValues(a *nla.Matrix, opt JobOptions) ([]float64, *dist.Result, error) {
+	r, err := h.Run(a, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Values, r.Exec, nil
+}
+
+// Run runs one GE2BND job across the mesh. With opt.Trace set it also
+// gathers every rank's trace ring, aligns peer timestamps onto the
+// head's clock using the transport's handshake offsets, and returns the
+// merged trace in the result.
+func (h *Head) Run(a *nla.Matrix, opt JobOptions) (*JobResult, error) {
 	if a == nil || a.Rows <= 0 || a.Cols <= 0 {
-		return nil, nil, fmt.Errorf("cluster: empty matrix")
+		return nil, fmt.Errorf("cluster: empty matrix")
 	}
 	if a.Rows < a.Cols {
-		return nil, nil, fmt.Errorf("cluster: require m >= n (got %dx%d); factor the transpose", a.Rows, a.Cols)
+		return nil, fmt.Errorf("cluster: require m >= n (got %dx%d); factor the transpose", a.Rows, a.Cols)
 	}
 	if opt.NB <= 0 {
-		return nil, nil, fmt.Errorf("cluster: job requires a tile size")
+		return nil, fmt.Errorf("cluster: job requires a tile size")
 	}
 	wpn := opt.WorkersPerNode
 	if wpn < 1 {
 		wpn = 1
 	}
-	spec := jobSpec{
-		Op: opJob, M: a.Rows, N: a.Cols, NB: opt.NB, RBidiag: opt.RBidiag,
-		WPN: wpn, GridR: h.cfg.Grid.R, GridC: h.cfg.Grid.C,
-	}
-	payload, err := encodeJob(spec, a)
-	if err != nil {
-		return nil, nil, err
-	}
 
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.seq++
+	spec := jobSpec{
+		Op: opJob, M: a.Rows, N: a.Cols, NB: opt.NB, RBidiag: opt.RBidiag,
+		WPN: wpn, GridR: h.cfg.Grid.R, GridC: h.cfg.Grid.C,
+		Trace: opt.Trace, Seq: h.seq,
+	}
+	payload, err := encodeJob(spec, a)
+	if err != nil {
+		return nil, err
+	}
+
+	// Traced jobs build the graph before announcing so the tracer exists
+	// when the announcement sends happen and they can be recorded as
+	// OpSend events on the head's NIC lane (the peers cannot record the
+	// matching recv — their tracers are created by the announcement).
+	g, out := buildJob(spec, a, h.cfg.Grid)
+	var tr *obs.Tracer
+	if opt.Trace {
+		tr = obs.NewTracer(wpn+2, 4*len(g.Tasks)+64)
+		g.Tracer = tr
+	}
+	wireF0, wireB0, wireP0 := h.dx.WireStats()
+
 	for peer := 1; peer < h.cfg.Grid.Nodes(); peer++ {
-		if err := h.dx.Send(dist.Message{From: 0, To: int32(peer), Producer: dist.ProducerControl, Payload: payload}); err != nil {
-			return nil, nil, fmt.Errorf("cluster: announcing job to rank %d: %w", peer, err)
+		msg := dist.Message{From: 0, To: int32(peer), Producer: dist.ProducerControl, Payload: payload}
+		var begin time.Duration
+		if tr != nil {
+			begin = tr.Now()
+		}
+		if err := h.dx.Send(msg); err != nil {
+			return nil, fmt.Errorf("cluster: announcing job to rank %d: %w", peer, err)
+		}
+		if tr != nil {
+			tr.Ring(wpn).Record(obs.Event{
+				Op: obs.OpSend, ID: dist.ProducerControl, Node: 0, Peer: int32(peer),
+				WireBytes: dist.FrameWireSize(msg), PayloadBytes: int64(len(msg.Payload)),
+				Start: begin, End: tr.Now(),
+			})
 		}
 	}
 
-	g, out := buildJob(spec, a, h.cfg.Grid)
 	res, err := dist.ExecuteNode(g, dist.NodeOptions{
 		Grid:           h.cfg.Grid,
 		WorkersPerNode: wpn,
@@ -228,15 +291,70 @@ func (h *Head) SingularValues(a *nla.Matrix, opt JobOptions) ([]float64, *dist.R
 		StallTimeout:   h.cfg.StallTimeout,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+
+	result := &JobResult{Exec: res}
+	if opt.Trace {
+		wireF1, wireB1, wireP1 := h.dx.WireStats()
+		headWire := WireDelta{
+			Rank: 0, Frames: wireF1 - wireF0,
+			WireBytes: wireB1 - wireB0, PayloadBytes: wireP1 - wireP0,
+		}
+		peers, err := h.gatherTraces(spec.Seq)
+		if err != nil {
+			return nil, err
+		}
+		var clock []ClockInfo
+		for _, cs := range h.dx.ClockSyncs() {
+			clock = append(clock, ClockInfo{
+				Rank: int(cs.Peer), OffsetNanos: int64(cs.Offset), RTTNanos: int64(cs.RTT),
+			})
+		}
+		result.Trace = mergeTraces(h.cfg.Grid, wpn, tr.Origin(), tr.Events(),
+			tr.Dropped(), headWire, peers, clock)
 	}
 
 	d, e := band.Reduce(out.ExtractBand(out.NB)).Bidiagonal()
 	sv, err := bdsqr.SingularValues(d, e)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return sv, res, nil
+	result.Values = sv
+	return result, nil
+}
+
+// gatherTraces collects one trace control frame from every peer on the
+// head's control plane, discarding stale frames whose sequence number
+// does not match the job just run.
+func (h *Head) gatherTraces(seq int64) ([]traceFrame, error) {
+	want := h.cfg.Grid.Nodes() - 1
+	timeout := h.cfg.StallTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	peers := make([]traceFrame, 0, want)
+	for len(peers) < want {
+		select {
+		case msg, ok := <-h.dx.ctrl:
+			if !ok {
+				return nil, fmt.Errorf("cluster: mesh closed while gathering traces (%d/%d)", len(peers), want)
+			}
+			tf, err := decodeTraceFrame(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if tf.Seq != seq {
+				continue // stale frame from an aborted earlier traced job
+			}
+			peers = append(peers, tf)
+		case <-timer.C:
+			return nil, fmt.Errorf("cluster: timed out gathering traces (%d/%d after %v)", len(peers), want, timeout)
+		}
+	}
+	return peers, nil
 }
 
 // Close shuts the peers down (they return from ServePeer). The transport
@@ -291,6 +409,15 @@ func ServePeer(cfg Config) error {
 			return err
 		}
 		g, _ := buildJob(spec, a, cfg.Grid)
+		var tr *obs.Tracer
+		var wireF0, wireB0, wireP0 int64
+		if spec.Trace {
+			// Ring indices in dist.ExecuteNode are global (rank·wpn+w,
+			// then NIC and receiver), so the tracer spans them all.
+			tr = obs.NewTracer(cfg.Rank*spec.WPN+spec.WPN+2, 4*len(g.Tasks)+64)
+			g.Tracer = tr
+			wireF0, wireB0, wireP0 = dx.WireStats()
+		}
 		if _, err := dist.ExecuteNode(g, dist.NodeOptions{
 			Grid:           cfg.Grid,
 			WorkersPerNode: spec.WPN,
@@ -300,6 +427,29 @@ func ServePeer(cfg Config) error {
 			StallTimeout:   cfg.StallTimeout,
 		}); err != nil {
 			return err
+		}
+		if spec.Trace {
+			// The wire delta is snapshotted before the trace frame itself
+			// goes out, so the frame is excluded from both the delta and
+			// the events and per-rank send-event byte sums stay equal to
+			// the counters.
+			wireF1, wireB1, wireP1 := dx.WireStats()
+			tf := traceFrame{
+				Seq: spec.Seq, Rank: cfg.Rank, WPN: spec.WPN,
+				OriginUnixNano: tr.Origin().UnixNano(),
+				Dropped:        tr.Dropped(),
+				WireFrames:     wireF1 - wireF0,
+				WireBytes:      wireB1 - wireB0,
+				PayloadBytes:   wireP1 - wireP0,
+				Events:         tr.Events(),
+			}
+			payload, err := encodeTraceFrame(tf)
+			if err != nil {
+				return fmt.Errorf("cluster: rank %d encoding trace frame: %w", cfg.Rank, err)
+			}
+			if err := dx.Send(dist.Message{From: int32(cfg.Rank), To: 0, Producer: dist.ProducerControl, Payload: payload}); err != nil {
+				return fmt.Errorf("cluster: rank %d sending trace frame: %w", cfg.Rank, err)
+			}
 		}
 	}
 }

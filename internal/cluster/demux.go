@@ -86,10 +86,28 @@ func (d *demux) Recv(node int32) <-chan dist.Message {
 // WireStats forwards the inner transport's wire accounting when it has
 // any (TCPTransport), so dist.ExecuteNode sees through the demux.
 func (d *demux) WireStats() (frames, wireBytes, payloadBytes int64) {
-	if ws, ok := d.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
+	if ws, ok := d.tr.(dist.WireStatser); ok {
 		return ws.WireStats()
 	}
 	return 0, 0, 0
+}
+
+// Links forwards the inner transport's per-link telemetry (nil when it
+// has none), so dist.ExecuteNode sees through the demux.
+func (d *demux) Links() *dist.LinkStats {
+	if ls, ok := d.tr.(dist.LinkStatser); ok {
+		return ls.Links()
+	}
+	return nil
+}
+
+// ClockSyncs forwards the inner transport's clock measurements (nil when
+// it has none).
+func (d *demux) ClockSyncs() []dist.ClockSync {
+	if cs, ok := d.tr.(dist.ClockSyncer); ok {
+		return cs.ClockSyncs()
+	}
+	return nil
 }
 
 // Close implements dist.Transport by closing the underlying mesh; the

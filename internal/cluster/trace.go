@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/dist"
+	"github.com/tiled-la/bidiag/internal/kernels"
+	"github.com/tiled-la/bidiag/internal/obs"
+)
+
+// traceFrame is the post-job control frame a peer ships to the head
+// after a traced job: its collected events, tracer origin, ring drops,
+// and the wire-stat deltas measured over exactly the frames its events
+// describe. Seq echoes the job's sequence number so the head can discard
+// a stale frame left over from an aborted earlier job.
+type traceFrame struct {
+	Op             string      `json:"op"` // opTrace
+	Seq            int64       `json:"seq"`
+	Rank           int         `json:"rank"`
+	WPN            int         `json:"wpn"`
+	OriginUnixNano int64       `json:"origin_unix_nano"`
+	Dropped        int64       `json:"dropped"`
+	WireFrames     int64       `json:"wire_frames"`
+	WireBytes      int64       `json:"wire_bytes"`
+	PayloadBytes   int64       `json:"payload_bytes"`
+	Events         []obs.Event `json:"events"`
+}
+
+const opTrace = "trace"
+
+// encodeTraceFrame frames a trace gather like every other control frame:
+// u32 JSON length | JSON. There is no raw data segment.
+func encodeTraceFrame(tf traceFrame) ([]byte, error) {
+	tf.Op = opTrace
+	hdr, err := json.Marshal(tf)
+	if err != nil {
+		return nil, err
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(hdr)))
+	return append(buf, hdr...), nil
+}
+
+// decodeTraceFrame parses a trace gather control frame.
+func decodeTraceFrame(payload []byte) (traceFrame, error) {
+	var tf traceFrame
+	if len(payload) < 4 {
+		return tf, fmt.Errorf("cluster: trace frame too short (%d bytes)", len(payload))
+	}
+	hl := binary.LittleEndian.Uint32(payload)
+	if uint64(hl)+4 > uint64(len(payload)) {
+		return tf, fmt.Errorf("cluster: trace header length %d exceeds frame", hl)
+	}
+	if err := json.Unmarshal(payload[4:4+int(hl)], &tf); err != nil {
+		return tf, fmt.Errorf("cluster: trace header: %w", err)
+	}
+	if tf.Op != opTrace {
+		return tf, fmt.Errorf("cluster: expected a trace frame, got op %q", tf.Op)
+	}
+	return tf, nil
+}
+
+// ClockInfo is the head-measured clock relation to one rank, copied into
+// the merged trace so an offline reader knows how timestamps were
+// aligned and how much error the alignment can carry (±RTT/2).
+type ClockInfo struct {
+	Rank        int   `json:"rank"`
+	OffsetNanos int64 `json:"offset_nanos"`
+	RTTNanos    int64 `json:"rtt_nanos"`
+}
+
+// WireDelta is one rank's transport-counter deltas over the traced job —
+// the reference figures the rank's send events must sum to.
+type WireDelta struct {
+	Rank         int   `json:"rank"`
+	Frames       int64 `json:"frames"`
+	WireBytes    int64 `json:"wire_bytes"`
+	PayloadBytes int64 `json:"payload_bytes"`
+}
+
+// MergedTrace is one cluster job's multi-rank trace: every rank's task
+// and comm events with Start/End expressed on the head's clock (offsets
+// from the head tracer's origin), plus the clock and wire metadata the
+// merge used. It is the raw interchange format (`?format=raw`,
+// cmd/trace -cluster) and the input of the Chrome renderer and of
+// critpath.ReconcileComm.
+type MergedTrace struct {
+	Grid           string      `json:"grid"`
+	Ranks          int         `json:"ranks"`
+	WPN            int         `json:"wpn"`
+	OriginUnixNano int64       `json:"origin_unix_nano"`
+	Events         []obs.Event `json:"events"`
+	Dropped        []int64     `json:"dropped"`
+	Clock          []ClockInfo `json:"clock"`
+	Wire           []WireDelta `json:"wire"`
+}
+
+// DroppedTotal sums the per-rank trace-ring drops.
+func (mt *MergedTrace) DroppedTotal() int64 {
+	var n int64
+	for _, d := range mt.Dropped {
+		n += d
+	}
+	return n
+}
+
+// WriteJSON writes the raw merged trace for offline rendering.
+func (mt *MergedTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(mt)
+}
+
+// ParseMergedTrace reads a raw merged trace written by WriteJSON.
+func ParseMergedTrace(r io.Reader) (*MergedTrace, error) {
+	var mt MergedTrace
+	if err := json.NewDecoder(r).Decode(&mt); err != nil {
+		return nil, fmt.Errorf("cluster: parse merged trace: %w", err)
+	}
+	if mt.Ranks <= 0 || mt.WPN <= 0 {
+		return nil, fmt.Errorf("cluster: merged trace has invalid shape (ranks %d, wpn %d)", mt.Ranks, mt.WPN)
+	}
+	return &mt, nil
+}
+
+// mergeTraces aligns every rank's events onto the head's clock. For a
+// peer event recorded at peer-clock instant origin_p + Start, the
+// head-clock instant is that minus the head-measured offset to the peer
+// (offset = peerClock − headClock), re-expressed as an offset from the
+// head's own tracer origin.
+func mergeTraces(grid dist.Grid, wpn int, headOrigin time.Time, headEvents []obs.Event,
+	headDropped int64, headWire WireDelta, peers []traceFrame, clock []ClockInfo) *MergedTrace {
+	n := grid.Nodes()
+	mt := &MergedTrace{
+		Grid:           grid.String(),
+		Ranks:          n,
+		WPN:            wpn,
+		OriginUnixNano: headOrigin.UnixNano(),
+		Dropped:        make([]int64, n),
+		Clock:          clock,
+		Wire:           make([]WireDelta, 0, n),
+	}
+	mt.Events = append(mt.Events, headEvents...)
+	mt.Dropped[0] = headDropped
+	mt.Wire = append(mt.Wire, headWire)
+
+	offsets := make(map[int]int64, len(clock))
+	for _, c := range clock {
+		offsets[c.Rank] = c.OffsetNanos
+	}
+	for _, tf := range peers {
+		shift := time.Duration(tf.OriginUnixNano - headOrigin.UnixNano() - offsets[tf.Rank])
+		for _, ev := range tf.Events {
+			ev.Start += shift
+			ev.End += shift
+			mt.Events = append(mt.Events, ev)
+		}
+		if tf.Rank >= 0 && tf.Rank < n {
+			mt.Dropped[tf.Rank] = tf.Dropped
+		}
+		mt.Wire = append(mt.Wire, WireDelta{
+			Rank: tf.Rank, Frames: tf.WireFrames,
+			WireBytes: tf.WireBytes, PayloadBytes: tf.PayloadBytes,
+		})
+	}
+	sort.Slice(mt.Events, func(i, j int) bool {
+		if mt.Events[i].Start != mt.Events[j].Start {
+			return mt.Events[i].Start < mt.Events[j].Start
+		}
+		return mt.Events[i].ID < mt.Events[j].ID
+	})
+	sort.Slice(mt.Wire, func(i, j int) bool { return mt.Wire[i].Rank < mt.Wire[j].Rank })
+	return mt
+}
+
+// chromeEv is one Chrome-tracing event. Beyond the X duration events the
+// single-process renderer emits, the cluster renderer adds M metadata
+// (process/thread names) and s/f flow events (send→recv arrows).
+type chromeEv struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// laneOf maps an event to its process lane (the rank) and thread lane
+// within it: worker index for task events, then one NIC (send) and one
+// receiver lane past the workers.
+func (mt *MergedTrace) laneOf(ev obs.Event) (pid, tid int) {
+	pid = int(ev.Node)
+	tid = int(ev.Worker) - pid*mt.WPN
+	if tid < 0 || tid > mt.WPN+1 {
+		// An event recorded on an unexpected ring still renders, parked
+		// on the receiver lane, rather than corrupting the layout.
+		tid = mt.WPN + 1
+	}
+	return pid, tid
+}
+
+// commFlowKey identifies one logical transfer for send/recv pairing.
+type commFlowKey struct {
+	from, to, id int32
+}
+
+// WriteChrome renders the merged trace as Chrome/Perfetto trace JSON:
+// one process lane per rank (named metadata), one thread lane per worker
+// plus NIC and receiver lanes, X slices for task and comm events, and
+// s/f flow events tying each send to its matching recv across process
+// lanes. Timestamps are shifted so the earliest event lands at 0.
+func (mt *MergedTrace) WriteChrome(w io.Writer) error {
+	var events []chromeEv
+
+	var base time.Duration
+	for i, ev := range mt.Events {
+		if i == 0 || ev.Start < base {
+			base = ev.Start
+		}
+	}
+	us := func(d time.Duration) float64 { return float64(d-base) / 1e3 }
+
+	for r := 0; r < mt.Ranks; r++ {
+		events = append(events, chromeEv{
+			Name: "process_name", Ph: "M", PID: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		for wk := 0; wk < mt.WPN; wk++ {
+			events = append(events, chromeEv{
+				Name: "thread_name", Ph: "M", PID: r, TID: wk,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+			})
+		}
+		events = append(events, chromeEv{
+			Name: "thread_name", Ph: "M", PID: r, TID: mt.WPN,
+			Args: map[string]any{"name": "nic"},
+		})
+		events = append(events, chromeEv{
+			Name: "thread_name", Ph: "M", PID: r, TID: mt.WPN + 1,
+			Args: map[string]any{"name": "recv"},
+		})
+	}
+
+	sends := map[commFlowKey]obs.Event{}
+	recvs := map[commFlowKey]obs.Event{}
+	for _, ev := range mt.Events {
+		pid, tid := mt.laneOf(ev)
+		switch ev.Op {
+		case obs.OpTask:
+			events = append(events, chromeEv{
+				Name: fmt.Sprintf("%s(%d,%d,%d)", kernels.Kind(ev.Kind), ev.I, ev.J, ev.K),
+				Cat:  "task", Ph: "X",
+				TS: us(ev.Start), Dur: float64(ev.End-ev.Start) / 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]any{"id": ev.ID, "flops": ev.Flops},
+			})
+		case obs.OpSend:
+			sends[commFlowKey{from: ev.Node, to: ev.Peer, id: ev.ID}] = ev
+			events = append(events, chromeEv{
+				Name: fmt.Sprintf("send→%d %s", ev.Peer, frameName(ev.ID)),
+				Cat:  "comm", Ph: "X",
+				TS: us(ev.Start), Dur: float64(ev.End-ev.Start) / 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]any{
+					"producer": ev.ID, "wire_bytes": ev.WireBytes,
+					"payload_bytes": ev.PayloadBytes, "queue_wait_us": float64(ev.Wait) / 1e3,
+				},
+			})
+		case obs.OpRecv:
+			recvs[commFlowKey{from: ev.Peer, to: ev.Node, id: ev.ID}] = ev
+			events = append(events, chromeEv{
+				Name: fmt.Sprintf("recv←%d %s", ev.Peer, frameName(ev.ID)),
+				Cat:  "comm", Ph: "X",
+				TS: us(ev.Start), Dur: float64(ev.End-ev.Start) / 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]any{
+					"producer": ev.ID, "wire_bytes": ev.WireBytes,
+					"payload_bytes": ev.PayloadBytes,
+				},
+			})
+		}
+	}
+
+	// Flow arrows: the s event sits at the send slice's end, the f event
+	// (binding point "e" = enclosing slice) at the recv slice's start.
+	flowID := 0
+	for k, s := range sends {
+		r, ok := recvs[k]
+		if !ok {
+			continue // dropped frame or untraced receiver: no arrow
+		}
+		flowID++
+		sPID, sTID := mt.laneOf(s)
+		rPID, rTID := mt.laneOf(r)
+		events = append(events, chromeEv{
+			Name: "frame", Cat: "flow", Ph: "s", ID: flowID,
+			TS: us(s.End), PID: sPID, TID: sTID,
+		}, chromeEv{
+			Name: "frame", Cat: "flow", Ph: "f", BP: "e", ID: flowID,
+			TS: us(r.Start), PID: rPID, TID: rTID,
+		})
+	}
+
+	out := struct {
+		TraceEvents []chromeEv `json:"traceEvents"`
+		Meta        struct {
+			Grid           string `json:"grid"`
+			Ranks          int    `json:"ranks"`
+			WPN            int    `json:"wpn"`
+			DroppedEvents  int64  `json:"dropped_events"`
+			OriginUnixNano int64  `json:"origin_unix_nano"`
+		} `json:"metadata"`
+	}{TraceEvents: events}
+	out.Meta.Grid = mt.Grid
+	out.Meta.Ranks = mt.Ranks
+	out.Meta.WPN = mt.WPN
+	out.Meta.DroppedEvents = mt.DroppedTotal()
+	out.Meta.OriginUnixNano = mt.OriginUnixNano
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// frameName labels a frame by its producer, naming the reserved
+// out-of-band producers.
+func frameName(producer int32) string {
+	switch producer {
+	case dist.ProducerGather:
+		return "gather"
+	case dist.ProducerControl:
+		return "ctrl"
+	case dist.ProducerError:
+		return "err"
+	default:
+		return fmt.Sprintf("t%d", producer)
+	}
+}

@@ -1,0 +1,98 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tiled-la/bidiag/internal/obs"
+)
+
+// LinkUse is one directed link's measured-vs-modeled communication in a
+// reconciled cluster trace.
+type LinkUse struct {
+	From   int32 `json:"from"`
+	To     int32 `json:"to"`
+	Frames int64 `json:"frames"`
+	// WireBytes is the framed byte total the send events recorded.
+	WireBytes int64 `json:"wire_bytes"`
+	// MeasuredSeconds sums the send events' durations (the time the
+	// sender spent handing frames to the transport).
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	// ModeledSeconds prices the same frames at α per frame plus
+	// bytes/β — the form sched.SimulateDistributed uses.
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	// Ratio is measured over modeled (0 when modeled is 0).
+	Ratio float64 `json:"ratio"`
+}
+
+// CommReport compares the wire time a traced cluster job measured
+// against an α-β model's pricing of the same frames, per directed link
+// and overall. It is the communication counterpart of ReconcileReport:
+// Ratio near 1 means the model's network terms describe the transport
+// the job actually ran on; a large ratio means the model undersells the
+// wire (or the mesh was slower than calibrated).
+type CommReport struct {
+	AlphaSeconds   float64   `json:"alpha_seconds"`
+	BytesPerSecond float64   `json:"bytes_per_second"`
+	Links          []LinkUse `json:"links"`
+
+	Frames          int64   `json:"frames"`
+	WireBytes       int64   `json:"wire_bytes"`
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	ModeledSeconds  float64 `json:"modeled_seconds"`
+	Ratio           float64 `json:"ratio"`
+}
+
+// ReconcileComm builds the measured-vs-modeled communication report from
+// a trace's comm events. events may be a full merged cluster trace
+// (task events are ignored); only OpSend events count, so each wire
+// frame is priced exactly once, on its sending rank. alphaSecs and
+// bytesPerSec are the model's network terms — machine.Model.NetLatency
+// and NetBandwidth, or a measured machine.CommFit.
+func ReconcileComm(events []obs.Event, alphaSecs, bytesPerSec float64) (*CommReport, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("critpath: comm reconcile requires a positive bandwidth, got %g", bytesPerSec)
+	}
+	type linkKey struct{ from, to int32 }
+	links := map[linkKey]*LinkUse{}
+	for _, ev := range events {
+		if ev.Op != obs.OpSend || ev.Node == ev.Peer {
+			continue
+		}
+		k := linkKey{ev.Node, ev.Peer}
+		lu := links[k]
+		if lu == nil {
+			lu = &LinkUse{From: k.from, To: k.to}
+			links[k] = lu
+		}
+		lu.Frames++
+		lu.WireBytes += ev.WireBytes
+		lu.MeasuredSeconds += (ev.End - ev.Start).Seconds()
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("critpath: no send events to reconcile")
+	}
+
+	r := &CommReport{AlphaSeconds: alphaSecs, BytesPerSecond: bytesPerSec}
+	for _, lu := range links {
+		lu.ModeledSeconds = alphaSecs*float64(lu.Frames) + float64(lu.WireBytes)/bytesPerSec
+		if lu.ModeledSeconds > 0 {
+			lu.Ratio = lu.MeasuredSeconds / lu.ModeledSeconds
+		}
+		r.Links = append(r.Links, *lu)
+		r.Frames += lu.Frames
+		r.WireBytes += lu.WireBytes
+		r.MeasuredSeconds += lu.MeasuredSeconds
+		r.ModeledSeconds += lu.ModeledSeconds
+	}
+	sort.Slice(r.Links, func(i, j int) bool {
+		if r.Links[i].From != r.Links[j].From {
+			return r.Links[i].From < r.Links[j].From
+		}
+		return r.Links[i].To < r.Links[j].To
+	})
+	if r.ModeledSeconds > 0 {
+		r.Ratio = r.MeasuredSeconds / r.ModeledSeconds
+	}
+	return r, nil
+}

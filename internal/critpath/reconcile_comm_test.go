@@ -1,0 +1,96 @@
+package critpath
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/obs"
+)
+
+// commEv builds one OpSend event lasting exactly secs.
+func commEv(from, to, id int32, bytes int64, secs float64) obs.Event {
+	return obs.Event{
+		Op: obs.OpSend, ID: id, Node: from, Peer: to, WireBytes: bytes,
+		Start: time.Duration(float64(id)) * time.Millisecond,
+		End:   time.Duration(float64(id))*time.Millisecond + time.Duration(secs*1e9),
+	}
+}
+
+// TestReconcileCommExact prices synthetic events generated from the very
+// α-β terms handed to the reconcile: every ratio must be 1.
+func TestReconcileCommExact(t *testing.T) {
+	const alpha = 1e-4
+	const beta = 1e9
+	var events []obs.Event
+	id := int32(0)
+	for _, link := range [][2]int32{{0, 1}, {1, 0}, {0, 2}} {
+		for _, b := range []int64{4096, 65536, 1 << 20} {
+			id++
+			events = append(events, commEv(link[0], link[1], id, b, alpha+float64(b)/beta))
+		}
+	}
+	// Task events and self-sends must be ignored.
+	events = append(events,
+		obs.Event{Op: obs.OpTask, ID: 999, Node: 0, Flops: 1e9, End: time.Second},
+		obs.Event{Op: obs.OpSend, ID: 998, Node: 1, Peer: 1, WireBytes: 1 << 30, End: time.Hour},
+		obs.Event{Op: obs.OpRecv, ID: 997, Node: 1, Peer: 0, WireBytes: 1 << 30, End: time.Hour},
+	)
+
+	r, err := ReconcileComm(events, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Links) != 3 {
+		t.Fatalf("%d links, want 3", len(r.Links))
+	}
+	if r.Frames != 9 {
+		t.Fatalf("%d frames, want 9", r.Frames)
+	}
+	// Event timestamps are nanosecond-quantized, so exact pricing holds to
+	// ~1ns per event.
+	if math.Abs(r.Ratio-1) > 1e-3 {
+		t.Fatalf("overall ratio %v, want ~1", r.Ratio)
+	}
+	for _, lu := range r.Links {
+		if math.Abs(lu.Ratio-1) > 1e-3 {
+			t.Fatalf("link %d->%d ratio %v, want ~1", lu.From, lu.To, lu.Ratio)
+		}
+	}
+	// Deterministic link order: sorted by (from, to).
+	if r.Links[0].From != 0 || r.Links[0].To != 1 || r.Links[1].To != 2 || r.Links[2].From != 1 {
+		t.Fatalf("links out of order: %+v", r.Links)
+	}
+}
+
+// TestReconcileCommSlowWire doubles the measured durations: the ratio
+// must report the model underselling the wire by 2×.
+func TestReconcileCommSlowWire(t *testing.T) {
+	const alpha = 1e-4
+	const beta = 1e9
+	var events []obs.Event
+	for i, b := range []int64{4096, 65536, 1 << 20} {
+		events = append(events, commEv(0, 1, int32(i+1), b, 2*(alpha+float64(b)/beta)))
+	}
+	r, err := ReconcileComm(events, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Ratio-2) > 1e-3 {
+		t.Fatalf("ratio %v, want ~2", r.Ratio)
+	}
+}
+
+// TestReconcileCommErrors: no events and bad bandwidth both error.
+func TestReconcileCommErrors(t *testing.T) {
+	if _, err := ReconcileComm(nil, 1e-6, 1e9); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	tasksOnly := []obs.Event{{Op: obs.OpTask, ID: 1, End: time.Second}}
+	if _, err := ReconcileComm(tasksOnly, 1e-6, 1e9); err == nil {
+		t.Fatal("trace with no sends accepted")
+	}
+	if _, err := ReconcileComm(tasksOnly, 1e-6, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}

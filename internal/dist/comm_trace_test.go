@@ -1,0 +1,318 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/core"
+	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
+	"github.com/tiled-la/bidiag/internal/sched"
+	"github.com/tiled-la/bidiag/internal/tile"
+)
+
+// shapeData rebuilds a shape case's deterministic input tiles, the same
+// seed runRanks and sequentialReference use.
+func shapeData(sc shapeCase) (core.Shape, *tile.Matrix) {
+	rng := rand.New(rand.NewSource(42))
+	a := nla.RandomMatrix(rng, sc.m, sc.n)
+	return core.ShapeOf(sc.m, sc.n, sc.nb), tile.FromDense(a, sc.nb)
+}
+
+// attachTracer gives a rank's graph a tracer sized for its worker rings
+// plus the NIC and receiver rings, the way the cluster layer does.
+func attachTracer(g *sched.Graph, rank, wpn int) *obs.Tracer {
+	tr := obs.NewTracer(rank*wpn+wpn+2, 4*len(g.Tasks)+64)
+	g.Tracer = tr
+	return tr
+}
+
+// commKey identifies one logical transfer: a frame's producer on one
+// directed link. Sender and receiver record it independently, so equal
+// keys pair a send event with its matching recv.
+type commKey struct {
+	from, to, id int32
+}
+
+func sendRecvIndex(t *testing.T, events []obs.Event) (sends, recvs map[commKey]obs.Event) {
+	t.Helper()
+	sends = map[commKey]obs.Event{}
+	recvs = map[commKey]obs.Event{}
+	for _, ev := range events {
+		switch ev.Op {
+		case obs.OpSend:
+			k := commKey{from: ev.Node, to: ev.Peer, id: ev.ID}
+			if _, dup := sends[k]; dup {
+				t.Fatalf("duplicate send event for %+v", k)
+			}
+			sends[k] = ev
+		case obs.OpRecv:
+			k := commKey{from: ev.Peer, to: ev.Node, id: ev.ID}
+			if _, dup := recvs[k]; dup {
+				t.Fatalf("duplicate recv event for %+v", k)
+			}
+			recvs[k] = ev
+		}
+	}
+	return sends, recvs
+}
+
+// TestExecuteNodeCommTracingTCP runs a 2-rank GE2BND over a loopback TCP
+// mesh with tracers attached and checks the tentpole's accounting
+// properties: per-rank send events reproduce the transport's WireStats
+// counters exactly (frames, wire bytes, payload bytes), every send has
+// at most one matching recv and every recv a matching send, per-link
+// telemetry agrees, and the result stays bitwise-identical.
+func TestExecuteNodeCommTracingTCP(t *testing.T) {
+	sc := shapeCases[0]
+	grid := Grid{2, 1}
+	wpn := 2
+	refOut := sequentialReference(t, sc, grid)
+	trs := tcpMesh(t, grid.Nodes())
+
+	n := grid.Nodes()
+	runs := make([]rankRun, n)
+	tracers := make([]*obs.Tracer, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		g := sched.NewGraph()
+		sh, data := shapeData(sc)
+		runs[rank].out = buildGE2BND(g, sh, data, grid, wpn, sc.rbidiag)
+		tracers[rank] = attachTracer(g, rank, wpn)
+		wg.Add(1)
+		go func(rank int, g *sched.Graph) {
+			defer wg.Done()
+			runs[rank].res, runs[rank].err = ExecuteNode(g, NodeOptions{
+				Grid:           grid,
+				WorkersPerNode: wpn,
+				Transport:      trs[rank],
+				Rank:           rank,
+				Gather:         true,
+				StallTimeout:   30 * time.Second,
+			})
+		}(rank, g)
+	}
+	wg.Wait()
+	for rank, r := range runs {
+		if r.err != nil {
+			t.Fatalf("rank %d: %v", rank, r.err)
+		}
+	}
+	if !tile.Equal(refOut, runs[0].out, 0) {
+		t.Fatal("traced TCP run no longer bitwise-identical to sequential")
+	}
+
+	allSends := map[commKey]obs.Event{}
+	allRecvs := map[commKey]obs.Event{}
+	for rank := 0; rank < n; rank++ {
+		events := tracers[rank].Events()
+		if tracers[rank].Dropped() != 0 {
+			t.Fatalf("rank %d dropped %d events", rank, tracers[rank].Dropped())
+		}
+		sends, recvs := sendRecvIndex(t, events)
+		for k, ev := range sends {
+			if k.from != int32(rank) {
+				t.Fatalf("rank %d recorded a send from rank %d", rank, k.from)
+			}
+			allSends[k] = ev
+		}
+		for k, ev := range recvs {
+			if k.to != int32(rank) {
+				t.Fatalf("rank %d recorded a recv to rank %d", rank, k.to)
+			}
+			allRecvs[k] = ev
+		}
+
+		// Send events must reproduce the transport's wire accounting
+		// exactly: same frame count, same wire bytes, same payload.
+		frames, wire, payload := trs[rank].WireStats()
+		var evFrames, evWire, evPayload int64
+		for _, ev := range sends {
+			evFrames++
+			evWire += ev.WireBytes
+			evPayload += ev.PayloadBytes
+			if ev.End < ev.Start || ev.Wait < 0 {
+				t.Fatalf("rank %d send event out of order: %+v", rank, ev)
+			}
+		}
+		if evFrames != frames || evWire != wire || evPayload != payload {
+			t.Fatalf("rank %d send events (%d frames, %d wire, %d payload) != WireStats (%d, %d, %d)",
+				rank, evFrames, evWire, evPayload, frames, wire, payload)
+		}
+		if int64(len(recvs)) != trs[rank].FramesReceived() {
+			t.Fatalf("rank %d recorded %d recv events, transport received %d frames",
+				rank, len(recvs), trs[rank].FramesReceived())
+		}
+
+		// The always-on per-link telemetry must agree with WireStats.
+		var linkFrames, linkWire, linkPayload, linkQWaits int64
+		for _, ls := range trs[rank].Links().Snapshot() {
+			linkFrames += ls.SentFrames
+			linkWire += ls.SentWireBytes
+			linkPayload += ls.SentPayloadBytes
+			linkQWaits += int64(ls.QueueWaitSeconds.Count)
+			if ls.SentFrames != int64(ls.SendSeconds.Count) {
+				t.Fatalf("rank %d link to %d: %d frames but %d send-latency observations",
+					rank, ls.Peer, ls.SentFrames, ls.SendSeconds.Count)
+			}
+		}
+		if linkFrames != frames || linkWire != wire || linkPayload != payload {
+			t.Fatalf("rank %d link stats (%d, %d, %d) != WireStats (%d, %d, %d)",
+				rank, linkFrames, linkWire, linkPayload, frames, wire, payload)
+		}
+		if linkQWaits != frames {
+			t.Fatalf("rank %d observed %d queue waits for %d frames", rank, linkQWaits, frames)
+		}
+	}
+
+	// Every recv pairs with a send; on a clean mesh every send pairs with
+	// a recv too.
+	for k := range allRecvs {
+		if _, ok := allSends[k]; !ok {
+			t.Fatalf("recv event %+v has no matching send", k)
+		}
+	}
+	for k := range allSends {
+		if _, ok := allRecvs[k]; !ok {
+			t.Fatalf("send event %+v has no matching recv", k)
+		}
+	}
+}
+
+// TestFaultTransportCommTracing: with a duplicating, delaying transport,
+// comm events must describe the logical transfers that actually took
+// effect — one send per frame handed to the transport, one recv per
+// frame acted on after dedup — so the duplicate shows up in neither.
+func TestFaultTransportCommTracing(t *testing.T) {
+	sc := shapeCases[0]
+	grid := Grid{2, 1}
+	wpn := 2
+	refOut := sequentialReference(t, sc, grid)
+	inner := NewChanTransport(grid.Nodes())
+	defer inner.Close()
+	ftr := &FaultTransport{Inner: inner, DupNth: 1, Delay: 200 * time.Microsecond}
+
+	n := grid.Nodes()
+	runs := make([]rankRun, n)
+	tracers := make([]*obs.Tracer, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		g := sched.NewGraph()
+		sh, data := shapeData(sc)
+		runs[rank].out = buildGE2BND(g, sh, data, grid, wpn, sc.rbidiag)
+		tracers[rank] = attachTracer(g, rank, wpn)
+		wg.Add(1)
+		go func(rank int, g *sched.Graph) {
+			defer wg.Done()
+			runs[rank].res, runs[rank].err = ExecuteNode(g, NodeOptions{
+				Grid:           grid,
+				WorkersPerNode: wpn,
+				Transport:      ftr,
+				Rank:           rank,
+				Gather:         true,
+				StallTimeout:   30 * time.Second,
+			})
+		}(rank, g)
+	}
+	wg.Wait()
+	for rank, r := range runs {
+		if r.err != nil {
+			t.Fatalf("rank %d: %v", rank, r.err)
+		}
+	}
+	if ftr.Duplicated() != 1 {
+		t.Fatalf("fault injection duplicated %d frames, want 1", ftr.Duplicated())
+	}
+	if !tile.Equal(refOut, runs[0].out, 0) {
+		t.Fatal("duplicate frame corrupted the result")
+	}
+
+	allSends := map[commKey]obs.Event{}
+	allRecvs := map[commKey]obs.Event{}
+	for rank := 0; rank < n; rank++ {
+		sends, recvs := sendRecvIndex(t, tracers[rank].Events())
+		for k, ev := range sends {
+			allSends[k] = ev
+		}
+		for k, ev := range recvs {
+			allRecvs[k] = ev
+		}
+	}
+	// The duplicated wire frame collapses back to one logical transfer:
+	// send and recv events pair off exactly despite it.
+	if len(allSends) != len(allRecvs) {
+		t.Fatalf("%d send events vs %d recv events; dedup leaked the duplicate", len(allSends), len(allRecvs))
+	}
+	for k := range allSends {
+		if _, ok := allRecvs[k]; !ok {
+			t.Fatalf("send event %+v has no matching recv", k)
+		}
+	}
+}
+
+// TestTCPClockSync: every rank of a loopback mesh must finish the
+// handshake knowing its offset and RTT to each peer, with figures that
+// make sense on one machine: sub-second offsets (the two transports
+// share a clock) and positive RTTs.
+func TestTCPClockSync(t *testing.T) {
+	trs := tcpMesh(t, 3)
+	for rank, tr := range trs {
+		syncs := tr.ClockSyncs()
+		if len(syncs) != 2 {
+			t.Fatalf("rank %d has %d clock syncs, want 2", rank, len(syncs))
+		}
+		for _, s := range syncs {
+			if s.Peer == int32(rank) {
+				t.Fatalf("rank %d measured a clock sync with itself", rank)
+			}
+			if s.RTT <= 0 || s.RTT > time.Second {
+				t.Fatalf("rank %d→%d RTT %s out of range", rank, s.Peer, s.RTT)
+			}
+			if off := s.Offset; off < -time.Second || off > time.Second {
+				t.Fatalf("rank %d→%d loopback clock offset %s out of range", rank, s.Peer, off)
+			}
+		}
+	}
+}
+
+// TestSendHookAllocs pins the executor's NIC-side telemetry discipline:
+// with tracking off the send wrapper adds zero allocations, and with a
+// tracer attached the comm-event recording still adds zero (lock-free
+// histogram observes, preallocated ring slots).
+func TestSendHookAllocs(t *testing.T) {
+	tr := NewChanTransport(2)
+	defer tr.Close()
+	drain := tr.Recv(1)
+	go func() {
+		for range drain {
+		}
+	}()
+	msg := Message{From: 0, To: 1, Producer: 5, Enable: []int32{1}}
+
+	off := &nodeEngine{tr: tr, rank: 0, nodes: 2}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := off.send(msg, time.Time{}); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("tracing-off send path allocates %v/op, want 0", allocs)
+	}
+
+	tracer := obs.NewTracer(4, 1<<14)
+	on := &nodeEngine{tr: tr, rank: 0, nodes: 2,
+		origin: tracer.Origin(), nicRing: tracer.Ring(2), recvRing: tracer.Ring(3),
+		links: NewLinkStats(0, 2), trackComm: true}
+	enq := time.Now()
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := on.send(msg, enq); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("tracing-on send path allocates %v/op, want 0", allocs)
+	}
+	if got := len(obs.CommEvents(tracer.Events())); got < 200 {
+		t.Fatalf("expected ≥200 recorded send events, got %d", got)
+	}
+}

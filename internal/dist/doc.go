@@ -34,10 +34,23 @@
 // length-prefixed frames, all integers little-endian:
 //
 //	handshake:  "BDT1" magic (4 bytes) | int32 sender rank
+//	clock sync: 8 × ( uint64 probe sequence → uint64 peer UnixNano echo )
 //	frame:      uint32 length          (bytes after this field)
 //	            int32  From | To | Producer | Bytes
 //	            uint32 enable count    | int32 × count enabled task IDs
 //	            payload                (rest of the frame)
+//
+// # Handshake clock sync
+//
+// The clock-sync rounds piggyback on the handshake, dialer-driven: the
+// dialer writes an 8-byte probe, the acceptor echoes its clock as a
+// uint64 UnixNano, and the dialer takes offset = peerNano − midpoint
+// over the minimum-RTT round — the NTP estimator, whose error is
+// bounded by ±RTT/2. Every rank dials every peer, so each transport
+// finishes construction knowing its offset and RTT to all peers
+// (ClockSyncs, the ClockSyncer optional interface). The cluster layer
+// uses these offsets to express trace events recorded on different
+// machines on the head's clock when merging a distributed trace.
 //
 // The payload is the exact byte string the producing handle's Snapshot
 // serializer emitted (internal/core region payloads, column-major
@@ -50,7 +63,29 @@
 // WireStats on a TCPTransport reports frames, total framed bytes
 // (length prefix + header + enable list + payload), and payload bytes
 // actually sent — the figures the comm-accounting tests reconcile
-// against the model.
+// against the model. The named optional interfaces WireStatser,
+// LinkStatser, and ClockSyncer expose this telemetry through wrapping
+// transports (FaultTransport and the cluster demux forward all three).
+//
+// # Comm tracing and trace-gather control frames
+//
+// When the executed graph carries an obs.Tracer, ExecuteNode records
+// one OpSend event per frame its NIC hands to the transport (ring index
+// rank·wpn+wpn) and one OpRecv event per frame its receiver acts on
+// after dedup (ring index rank·wpn+wpn+1), carrying peer rank, wire and
+// payload bytes, and the outbox queue wait. Self-sends never touch a
+// wire and are excluded, so per-rank send-event byte sums equal the
+// transport's WireStats counters exactly. With no tracer attached the
+// frame paths stay on the pre-telemetry fast path behind a single flag
+// check, mirroring sched.Graph.RunTask's discipline.
+//
+// The cluster layer (internal/cluster) defines one more out-of-band
+// exchange on top of ProducerControl frames: after a traced job, each
+// peer rank ships its collected events, wire-stat deltas, and tracer
+// origin to rank 0 as a "trace" control frame, and the head aligns the
+// per-rank timestamps using the handshake clock offsets into one merged
+// trace. The frame bodies are JSON, versioned by the cluster job
+// protocol; see internal/cluster.
 //
 // # Fault injection
 //

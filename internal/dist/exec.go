@@ -77,6 +77,10 @@ type execNode struct {
 	outCond   *sync.Cond
 	outbox    []Message
 	outClosed bool
+	// outEnq parallels outbox with enqueue timestamps when the
+	// multi-process executor tracks comm telemetry (nodeEngine.trackComm);
+	// the in-process engine leaves it empty.
+	outEnq []time.Time
 }
 
 type engine struct {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/sched"
 )
 
@@ -71,6 +72,20 @@ type nodeEngine struct {
 	rank  int32
 	nodes int32
 	nd    *execNode
+
+	// ws is the transport's optional wire accounting, asserted once at
+	// setup. links is its optional per-link telemetry. When the graph
+	// carries a tracer, nicRing and recvRing are this rank's comm-event
+	// rings (indices rank·wpn+wpn and rank·wpn+wpn+1, just past the
+	// worker rings) and origin its time base. trackComm is the single
+	// flag the frame paths check: false keeps them byte-for-byte on the
+	// pre-telemetry fast path.
+	ws        WireStatser
+	links     *LinkStats
+	nicRing   *obs.Ring
+	recvRing  *obs.Ring
+	origin    time.Time
+	trackComm bool
 
 	preds     []int32
 	statMu    sync.Mutex
@@ -160,9 +175,19 @@ func ExecuteNode(g *sched.Graph, opt NodeOptions) (*Result, error) {
 	g.ComputeBottomLevels(sched.WeightTime)
 
 	var wireBase int64
-	if ws, ok := e.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
+	if ws, ok := e.tr.(WireStatser); ok {
+		e.ws = ws
 		_, wireBase, _ = ws.WireStats()
 	}
+	if ls, ok := e.tr.(LinkStatser); ok {
+		e.links = ls.Links()
+	}
+	if tr := g.Tracer; tr != nil {
+		e.origin = tr.Origin()
+		e.nicRing = tr.Ring(opt.Rank*wpn + wpn)
+		e.recvRing = tr.Ring(opt.Rank*wpn + wpn + 1)
+	}
+	e.trackComm = e.nicRing != nil || e.links != nil
 
 	// Seed the ready heap and the finished flag before any goroutine
 	// starts: a persistent mesh can already hold buffered frames for this
@@ -234,8 +259,8 @@ func ExecuteNode(g *sched.Graph, opt NodeOptions) (*Result, error) {
 	if e.res.Wall > 0 {
 		e.res.Utilization = float64(e.res.Busy) / (float64(wpn) * float64(e.res.Wall))
 	}
-	if ws, ok := e.tr.(interface{ WireStats() (int64, int64, int64) }); ok {
-		frames, wire, _ := ws.WireStats()
+	if e.ws != nil {
+		frames, wire, _ := e.ws.WireStats()
 		e.res.WireFrames = frames
 		e.res.WireBytes = wire - wireBase
 	}
@@ -409,6 +434,9 @@ func (e *nodeEngine) ship(msg Message) {
 	nd := e.nd
 	nd.outMu.Lock()
 	nd.outbox = append(nd.outbox, msg)
+	if e.trackComm {
+		nd.outEnq = append(nd.outEnq, time.Now())
+	}
 	nd.outCond.Signal()
 	nd.outMu.Unlock()
 }
@@ -428,12 +456,74 @@ func (e *nodeEngine) sender(wg *sync.WaitGroup) {
 		}
 		msg := nd.outbox[0]
 		nd.outbox = nd.outbox[1:]
+		var enq time.Time
+		if e.trackComm {
+			enq = nd.outEnq[0]
+			nd.outEnq = nd.outEnq[1:]
+		}
 		nd.outMu.Unlock()
-		if err := e.tr.Send(msg); err != nil {
+		if err := e.send(msg, enq); err != nil {
 			e.fail(fmt.Errorf("dist: rank %d transport send: %w", e.rank, err))
 			return
 		}
 	}
+}
+
+// send pushes one frame through the transport, recording the per-link
+// queue wait and — when the graph carries a tracer — an OpSend comm
+// event. With telemetry off (trackComm false) it is exactly one nil
+// check around the transport call, matching RunTask's discipline; the
+// tracked path adds no allocations (lock-free histogram observes and a
+// preallocated ring slot). Self-sends never touch a wire and are
+// excluded, so event byte sums remain comparable to WireStats.
+func (e *nodeEngine) send(msg Message, enq time.Time) error {
+	if !e.trackComm {
+		return e.tr.Send(msg)
+	}
+	begin := time.Now()
+	err := e.tr.Send(msg)
+	if msg.To == e.rank {
+		return err
+	}
+	if e.links != nil {
+		e.links.RecordQueueWait(msg.To, begin.Sub(enq))
+	}
+	if e.nicRing != nil {
+		e.nicRing.Record(obs.Event{
+			Op:           obs.OpSend,
+			ID:           msg.Producer,
+			Node:         e.rank,
+			Peer:         msg.To,
+			WireBytes:    frameWireSize(msg),
+			PayloadBytes: int64(len(msg.Payload)),
+			Wait:         begin.Sub(enq),
+			Start:        begin.Sub(e.origin),
+			End:          time.Since(e.origin),
+		})
+	}
+	return err
+}
+
+// recordRecv records an OpRecv comm event for a frame this rank acted
+// on. The receiver calls it only for frames that passed its dedup, so a
+// duplicated or dropped wire frame (FaultTransport, a retrying
+// transport) yields exactly the events of the logical transfer that
+// actually took effect. arrive is the dequeue instant, stamped before
+// the frame was processed; self-sends are excluded.
+func (e *nodeEngine) recordRecv(msg Message, arrive time.Duration) {
+	if e.recvRing == nil || msg.From == e.rank {
+		return
+	}
+	e.recvRing.Record(obs.Event{
+		Op:           obs.OpRecv,
+		ID:           msg.Producer,
+		Node:         e.rank,
+		Peer:         msg.From,
+		WireBytes:    frameWireSize(msg),
+		PayloadBytes: int64(len(msg.Payload)),
+		Start:        arrive,
+		End:          time.Since(e.origin),
+	})
 }
 
 // receiver consumes this rank's frame stream: restore payloads into the
@@ -462,9 +552,14 @@ func (e *nodeEngine) receiver(wg *sync.WaitGroup) {
 			if !ok {
 				return
 			}
+			var arrive time.Duration
+			if e.recvRing != nil {
+				arrive = time.Since(e.origin)
+			}
 			e.progress.Add(1)
 			switch {
 			case msg.Producer == ProducerError:
+				e.recordRecv(msg, arrive)
 				e.fail(fmt.Errorf("dist: rank %d failed: %s", msg.From, msg.Payload))
 				return
 			case msg.Producer == ProducerGather:
@@ -473,6 +568,7 @@ func (e *nodeEngine) receiver(wg *sync.WaitGroup) {
 				}
 				gathered[msg.From] = true
 				e.gathers[msg.From] = msg.Payload
+				e.recordRecv(msg, arrive)
 				if len(gathered) == int(e.nodes)-1 {
 					close(e.gatherOK)
 				}
@@ -491,6 +587,7 @@ func (e *nodeEngine) receiver(wg *sync.WaitGroup) {
 					e.fail(err)
 					return
 				}
+				e.recordRecv(msg, arrive)
 			}
 		case <-e.stop:
 			return

@@ -62,6 +62,34 @@ func (f *FaultTransport) Recv(node int32) <-chan Message { return f.Inner.Recv(n
 // Close implements Transport.
 func (f *FaultTransport) Close() error { return f.Inner.Close() }
 
+// WireStats forwards the inner transport's wire accounting (zeroes when
+// the inner transport has none), so wrapping a TCPTransport in faults
+// keeps it observable.
+func (f *FaultTransport) WireStats() (frames, wireBytes, payloadBytes int64) {
+	if ws, ok := f.Inner.(WireStatser); ok {
+		return ws.WireStats()
+	}
+	return 0, 0, 0
+}
+
+// Links forwards the inner transport's per-link telemetry (nil when the
+// inner transport has none).
+func (f *FaultTransport) Links() *LinkStats {
+	if ls, ok := f.Inner.(LinkStatser); ok {
+		return ls.Links()
+	}
+	return nil
+}
+
+// ClockSyncs forwards the inner transport's clock measurements (nil when
+// the inner transport has none).
+func (f *FaultTransport) ClockSyncs() []ClockSync {
+	if cs, ok := f.Inner.(ClockSyncer); ok {
+		return cs.ClockSyncs()
+	}
+	return nil
+}
+
 // Dropped and Duplicated report how many faults actually fired.
 func (f *FaultTransport) Dropped() int64    { return f.dropped.Load() }
 func (f *FaultTransport) Duplicated() int64 { return f.duped.Load() }

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/tiled-la/bidiag/internal/obs"
+)
+
+// ClockSync is the measured clock relation to one peer, estimated by the
+// NTP-style probe exchange of the BDT1 handshake. Offset estimates
+// peerClock − localClock at the probe midpoint: adding it to a local
+// timestamp expresses that instant on the peer's clock. RTT is the
+// round-trip time of the best (minimum-RTT) probe, which bounds the
+// offset estimate's error: the true offset lies within ±RTT/2.
+type ClockSync struct {
+	Peer   int32
+	Offset time.Duration
+	RTT    time.Duration
+}
+
+// LinkStats aggregates one rank's always-on per-link wire telemetry:
+// sent/received frame and byte counters plus send-latency and
+// queue-wait histograms, indexed by peer rank. The write paths are
+// lock-free (atomic adds and histogram observes), so they sit directly
+// on the transport hot path; Snapshot is safe at any time.
+type LinkStats struct {
+	rank  int32
+	links []linkCounters
+}
+
+type linkCounters struct {
+	sentFrames  atomic.Int64
+	sentWire    atomic.Int64
+	sentPayload atomic.Int64
+	recvFrames  atomic.Int64
+	recvWire    atomic.Int64
+	// sendSeconds observes the transport Send duration per frame (the
+	// frame latency as the sender sees it: framing, syscall, and TCP
+	// backpressure); queueWait observes how long a frame sat in the
+	// executor's outbox before the NIC goroutine picked it up.
+	sendSeconds *obs.Histogram
+	queueWait   *obs.Histogram
+}
+
+// NewLinkStats returns link telemetry for a rank in a mesh of n nodes.
+func NewLinkStats(rank, n int) *LinkStats {
+	l := &LinkStats{rank: int32(rank), links: make([]linkCounters, n)}
+	for i := range l.links {
+		l.links[i].sendSeconds = obs.NewHistogram(obs.WireBuckets())
+		l.links[i].queueWait = obs.NewHistogram(obs.WireBuckets())
+	}
+	return l
+}
+
+// Rank returns the rank whose links these are.
+func (l *LinkStats) Rank() int32 { return l.rank }
+
+// Nodes returns the mesh size.
+func (l *LinkStats) Nodes() int { return len(l.links) }
+
+func (l *LinkStats) valid(peer int32) bool {
+	return peer >= 0 && int(peer) < len(l.links) && peer != l.rank
+}
+
+// RecordSend accounts one frame sent to peer: its wire and payload bytes
+// and the transport Send duration.
+func (l *LinkStats) RecordSend(peer int32, wire, payload int64, d time.Duration) {
+	if !l.valid(peer) {
+		return
+	}
+	lc := &l.links[peer]
+	lc.sentFrames.Add(1)
+	lc.sentWire.Add(wire)
+	lc.sentPayload.Add(payload)
+	lc.sendSeconds.Observe(d.Seconds())
+}
+
+// RecordQueueWait accounts how long a frame to peer waited in the outbox
+// before the NIC picked it up.
+func (l *LinkStats) RecordQueueWait(peer int32, d time.Duration) {
+	if !l.valid(peer) {
+		return
+	}
+	l.links[peer].queueWait.Observe(d.Seconds())
+}
+
+// RecordRecv accounts one frame received from peer.
+func (l *LinkStats) RecordRecv(peer int32, wire int64) {
+	if !l.valid(peer) {
+		return
+	}
+	lc := &l.links[peer]
+	lc.recvFrames.Add(1)
+	lc.recvWire.Add(wire)
+}
+
+// LinkSnapshot is a point-in-time copy of one peer link's telemetry as
+// seen from this rank: sent counters describe the rank→peer direction,
+// recv counters the peer→rank direction.
+type LinkSnapshot struct {
+	Peer             int32
+	SentFrames       int64
+	SentWireBytes    int64
+	SentPayloadBytes int64
+	RecvFrames       int64
+	RecvWireBytes    int64
+	SendSeconds      obs.HistogramSnapshot
+	QueueWaitSeconds obs.HistogramSnapshot
+}
+
+// Snapshot copies every peer link's current telemetry (self excluded),
+// in ascending peer order.
+func (l *LinkStats) Snapshot() []LinkSnapshot {
+	out := make([]LinkSnapshot, 0, len(l.links)-1)
+	for p := range l.links {
+		if int32(p) == l.rank {
+			continue
+		}
+		lc := &l.links[p]
+		out = append(out, LinkSnapshot{
+			Peer:             int32(p),
+			SentFrames:       lc.sentFrames.Load(),
+			SentWireBytes:    lc.sentWire.Load(),
+			SentPayloadBytes: lc.sentPayload.Load(),
+			RecvFrames:       lc.recvFrames.Load(),
+			RecvWireBytes:    lc.recvWire.Load(),
+			SendSeconds:      lc.sendSeconds.Snapshot(),
+			QueueWaitSeconds: lc.queueWait.Snapshot(),
+		})
+	}
+	return out
+}

@@ -16,10 +16,20 @@ import (
 // then carries length-prefixed frames:
 //
 //	handshake:  "BDT1" magic (4 bytes) | int32 sender rank
+//	clock sync: 8 × ( uint64 probe sequence → uint64 peer UnixNano echo )
 //	frame:      uint32 length          (bytes after this field)
 //	            int32  From | To | Producer | Bytes
 //	            uint32 enable count    | int32 × count enabled task IDs
 //	            payload                (rest of the frame)
+//
+// The clock-sync exchange rides on the handshake, dialer-driven like the
+// hello: the dialer writes an 8-byte probe, the acceptor echoes its
+// current clock as a uint64 UnixNano, and the dialer estimates the
+// peer-clock offset at the probe midpoint, keeping the minimum-RTT
+// sample (the NTP estimator). Since every rank dials every peer, each
+// rank finishes the mesh build knowing its offset to all peers — what
+// lets a trace gather align event timestamps recorded on different
+// machines onto one clock.
 //
 // All integers are little-endian, matching the region payload serializers
 // of internal/core, so a frame's payload is the exact byte string a
@@ -33,6 +43,9 @@ const (
 	// tcpMaxFrame bounds a single frame (1 GiB): a corrupted length
 	// prefix fails the connection instead of attempting the allocation.
 	tcpMaxFrame = 1 << 30
+	// tcpClockProbes is the number of offset/RTT probe rounds per
+	// connection; the minimum-RTT round wins.
+	tcpClockProbes = 8
 )
 
 // TCPOptions tunes a TCPTransport. The zero value selects the defaults.
@@ -99,6 +112,13 @@ type TCPTransport struct {
 	wire     atomic.Int64
 	payload  atomic.Int64
 	received atomic.Int64
+
+	// links is the per-peer telemetry; clock holds the handshake-measured
+	// offset/RTT per dialed peer (written before NewTCPTransport returns,
+	// read-only after).
+	links         *LinkStats
+	clock         []ClockSync
+	handshakeTout time.Duration
 }
 
 type tcpConn struct {
@@ -133,6 +153,10 @@ func NewTCPTransport(ctx context.Context, rank int, addrs []string, opt *TCPOpti
 		ln:     ln,
 		conns:  make([]*tcpConn, len(addrs)),
 		closed: make(chan struct{}),
+		links:  NewLinkStats(rank, len(addrs)),
+		clock:  make([]ClockSync, len(addrs)),
+
+		handshakeTout: o.DialTimeout,
 	}
 	go t.accept()
 
@@ -153,9 +177,62 @@ func NewTCPTransport(ctx context.Context, rank int, addrs []string, opt *TCPOpti
 			t.Close()
 			return nil, fmt.Errorf("dist: rank %d handshake to node %d: %w", rank, peer, err)
 		}
+		sync, err := clockProbe(c, o.DialTimeout)
+		if err != nil {
+			c.Close()
+			t.Close()
+			return nil, fmt.Errorf("dist: rank %d clock sync with node %d: %w", rank, peer, err)
+		}
+		sync.Peer = int32(peer)
+		t.clock[peer] = sync
 		t.conns[peer] = &tcpConn{c: c, tout: o.SendTimeout}
 	}
 	return t, nil
+}
+
+// clockProbe runs the dialer side of the handshake clock sync: write a
+// probe, read the peer's UnixNano echo, estimate the offset at the probe
+// midpoint, and keep the minimum-RTT sample.
+func clockProbe(c net.Conn, budget time.Duration) (ClockSync, error) {
+	c.SetDeadline(time.Now().Add(budget))
+	defer c.SetDeadline(time.Time{})
+	var buf [8]byte
+	best := ClockSync{RTT: time.Duration(1<<63 - 1)}
+	for i := 0; i < tcpClockProbes; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		t0 := time.Now()
+		if _, err := c.Write(buf[:]); err != nil {
+			return ClockSync{}, err
+		}
+		if _, err := io.ReadFull(c, buf[:]); err != nil {
+			return ClockSync{}, err
+		}
+		rtt := time.Since(t0)
+		peerNano := int64(binary.LittleEndian.Uint64(buf[:]))
+		mid := t0.UnixNano() + rtt.Nanoseconds()/2
+		if rtt < best.RTT {
+			best.RTT = rtt
+			best.Offset = time.Duration(peerNano - mid)
+		}
+	}
+	return best, nil
+}
+
+// clockServe runs the acceptor side: echo the local clock once per probe.
+func clockServe(c net.Conn, budget time.Duration) error {
+	c.SetDeadline(time.Now().Add(budget))
+	defer c.SetDeadline(time.Time{})
+	var buf [8]byte
+	for i := 0; i < tcpClockProbes; i++ {
+		if _, err := io.ReadFull(c, buf[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(time.Now().UnixNano()))
+		if _, err := c.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dialRetry dials addr until it succeeds, the budget runs out, or ctx is
@@ -219,12 +296,18 @@ func (t *TCPTransport) read(c net.Conn) {
 		c.Close()
 		return
 	}
+	peer := int32(binary.LittleEndian.Uint32(hello[4:]))
+	if err := clockServe(c, t.handshakeTout); err != nil {
+		c.Close()
+		return
+	}
 	for {
 		msg, err := readFrame(c)
 		if err != nil {
 			return // EOF (peer done) or Close
 		}
 		t.received.Add(1)
+		t.links.RecordRecv(peer, frameWireSize(msg))
 		select {
 		case t.inbox <- msg:
 		case <-t.closed:
@@ -253,15 +336,17 @@ func (t *TCPTransport) Send(msg Message) error {
 	}
 	buf := appendFrame(nil, msg)
 	pc := t.conns[msg.To]
+	begin := time.Now()
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	pc.c.SetWriteDeadline(time.Now().Add(pc.tout))
+	pc.c.SetWriteDeadline(begin.Add(pc.tout))
 	if _, err := pc.c.Write(buf); err != nil {
 		return fmt.Errorf("dist: rank %d send to node %d: %w", t.rank, msg.To, err)
 	}
 	t.frames.Add(1)
 	t.wire.Add(int64(len(buf)))
 	t.payload.Add(int64(len(msg.Payload)))
+	t.links.RecordSend(msg.To, int64(len(buf)), int64(len(msg.Payload)), time.Since(begin))
 	return nil
 }
 
@@ -287,6 +372,24 @@ func (t *TCPTransport) WireStats() (frames, wireBytes, payloadBytes int64) {
 
 // FramesReceived reports how many frames arrived from remote peers.
 func (t *TCPTransport) FramesReceived() int64 { return t.received.Load() }
+
+// Links exposes the transport's always-on per-link telemetry,
+// implementing LinkStatser.
+func (t *TCPTransport) Links() *LinkStats { return t.links }
+
+// ClockSyncs reports the handshake-measured clock relation to every
+// peer (self excluded), implementing ClockSyncer.
+func (t *TCPTransport) ClockSyncs() []ClockSync {
+	out := make([]ClockSync, 0, len(t.clock)-1)
+	for p, s := range t.clock {
+		if int32(p) == t.rank {
+			continue
+		}
+		s.Peer = int32(p)
+		out = append(out, s)
+	}
+	return out
+}
 
 // Close tears the mesh down: stop accepting, close every connection, and
 // close the inbox once the readers have drained. Safe to call more than
@@ -377,6 +480,12 @@ func appendFrame(buf []byte, msg Message) []byte {
 func frameWireSize(msg Message) int64 {
 	return int64(4 + tcpFrameFixed + 4*len(msg.Enable) + len(msg.Payload))
 }
+
+// FrameWireSize reports what msg costs on the TCP wire, framing
+// included — the figure WireStats and the comm-trace events use. Layers
+// that send control frames outside the executor (the cluster job
+// protocol) use it to record comparable send events.
+func FrameWireSize(msg Message) int64 { return frameWireSize(msg) }
 
 // readFrame decodes one frame from r.
 func readFrame(r io.Reader) (Message, error) {

@@ -33,6 +33,30 @@ type Transport interface {
 	Close() error
 }
 
+// WireStatser is the optional Transport interface of implementations
+// that can report send-side wire accounting: frames sent to remote
+// peers, total bytes on the wire (framing included), and the payload
+// bytes inside them. TCPTransport implements it; the in-process
+// ChanTransport, which has no wire, does not.
+type WireStatser interface {
+	WireStats() (frames, wireBytes, payloadBytes int64)
+}
+
+// LinkStatser is the optional Transport interface of implementations
+// that keep always-on per-link telemetry (frame and byte counters plus
+// latency histograms per peer). TCPTransport implements it.
+type LinkStatser interface {
+	Links() *LinkStats
+}
+
+// ClockSyncer is the optional Transport interface of implementations
+// that measure their clock relation to each peer. TCPTransport measures
+// offset and RTT during the BDT1 handshake; in-process transports share
+// one clock, so absence simply means zero offsets.
+type ClockSyncer interface {
+	ClockSyncs() []ClockSync
+}
+
 // ChanTransport is the deterministic in-process transport: one buffered
 // channel per node. Payloads are copied on Send, so a received message
 // never aliases sender memory — the property a real wire format gives you

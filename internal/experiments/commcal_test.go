@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestCommCal runs the full calibration loop at laptop scale: real
+// traced 2-rank loopback-TCP jobs, a pooled α-β fit with size spread,
+// and the reconcile of the largest job against that fit. The ratio
+// bound is deliberately generous — the fit is least-squares over a
+// noisy loopback wire and the reconcile reuses one of its training
+// jobs, so it sits near 1 but CI machines jitter hard; what the bound
+// catches is a broken unit somewhere (µs-vs-s, bytes-vs-bits), which
+// shows up as orders of magnitude, not tens of percent.
+func TestCommCal(t *testing.T) {
+	res, tbl, err := CommCal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShape(t, tbl)
+	if len(res.Links) != 2 {
+		t.Fatalf("%d links on a 2-rank mesh, want 2", len(res.Links))
+	}
+	for _, l := range res.Links {
+		if l.Samples == 0 {
+			t.Fatalf("link %d->%d has no samples", l.From, l.To)
+		}
+	}
+	if res.Fit.Samples == 0 {
+		t.Fatal("pooled fit has no samples")
+	}
+	if res.Fit.AlphaSeconds < 0 || res.Fit.AlphaSeconds > 1 {
+		t.Fatalf("pooled alpha %v s out of range", res.Fit.AlphaSeconds)
+	}
+	if res.Reconcile == nil || res.Reconcile.Frames == 0 {
+		t.Fatal("no reconcile report")
+	}
+	// The generous self-consistency bound: measured wire time within 10×
+	// of the fitted model in either direction.
+	if r := res.Reconcile.Ratio; r < 0.1 || r > 10 {
+		t.Fatalf("reconcile ratio %v outside [0.1, 10]", r)
+	}
+	if res.LargestFlops <= 0 || res.LargestWall <= 0 {
+		t.Fatalf("largest job figures: flops %v wall %v", res.LargestFlops, res.LargestWall)
+	}
+}

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// CommSample is one measured frame transfer: its framed size on the wire
+// and the seconds the sender spent putting it there (comm-trace OpSend
+// event duration).
+type CommSample struct {
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CommFit is a measured α-β communication model: a frame of b bytes
+// costs AlphaSeconds + b/BytesPerSecond. It is the measured counterpart
+// of Model.NetLatency and Model.NetBandwidth.
+type CommFit struct {
+	AlphaSeconds   float64 `json:"alpha_seconds"`
+	BytesPerSecond float64 `json:"bytes_per_second"`
+	Samples        int     `json:"samples"`
+	// ResidualRMS is the root-mean-square residual of the fit in seconds.
+	ResidualRMS float64 `json:"residual_rms"`
+	// Degenerate marks a fit whose samples had no usable size spread (or
+	// a non-positive slope): AlphaSeconds is then the mean frame time and
+	// BytesPerSecond is +Inf (pure latency model).
+	Degenerate bool `json:"degenerate,omitempty"`
+}
+
+// CommTime prices one frame under the fit.
+func (f CommFit) CommTime(bytes int64) float64 {
+	t := f.AlphaSeconds
+	if !math.IsInf(f.BytesPerSecond, 1) && f.BytesPerSecond > 0 {
+		t += float64(bytes) / f.BytesPerSecond
+	}
+	return t
+}
+
+// Apply returns a copy of m with the network terms replaced by the
+// measured fit. A degenerate fit only replaces the latency: +Inf
+// bandwidth would zero every volume term in the simulators.
+func (f CommFit) Apply(m Model) Model {
+	m.NetLatency = f.AlphaSeconds
+	if !f.Degenerate && f.BytesPerSecond > 0 && !math.IsInf(f.BytesPerSecond, 1) {
+		m.NetBandwidth = f.BytesPerSecond
+	}
+	return m
+}
+
+// CommTime prices one frame under the model's α-β network terms — the
+// same Latency + bytes/BytesPerTime form sched.SimulateDistributed uses.
+func (m Model) CommTime(bytes int64) float64 {
+	return m.NetLatency + float64(bytes)/m.NetBandwidth
+}
+
+// FitComm least-squares-fits seconds = α + bytes/β over measured frame
+// transfers. The fit needs size spread to separate the latency from the
+// bandwidth term; commcal gets it by tracing jobs at several tile sizes.
+func FitComm(samples []CommSample) (CommFit, error) {
+	n := len(samples)
+	if n == 0 {
+		return CommFit{}, fmt.Errorf("machine: no comm samples to fit")
+	}
+	var meanB, meanS float64
+	for _, s := range samples {
+		meanB += float64(s.Bytes)
+		meanS += s.Seconds
+	}
+	meanB /= float64(n)
+	meanS /= float64(n)
+	var cov, varB float64
+	for _, s := range samples {
+		db := float64(s.Bytes) - meanB
+		cov += db * (s.Seconds - meanS)
+		varB += db * db
+	}
+
+	fit := CommFit{Samples: n}
+	if varB == 0 || cov <= 0 {
+		// No size spread, or a slope that prices bytes negatively: fall
+		// back to a pure-latency model rather than a nonsense bandwidth.
+		fit.Degenerate = true
+		fit.AlphaSeconds = meanS
+		fit.BytesPerSecond = math.Inf(1)
+	} else {
+		slope := cov / varB // seconds per byte
+		fit.AlphaSeconds = meanS - slope*meanB
+		if fit.AlphaSeconds < 0 {
+			fit.AlphaSeconds = 0
+		}
+		fit.BytesPerSecond = 1 / slope
+	}
+	var ss float64
+	for _, s := range samples {
+		r := s.Seconds - fit.CommTime(s.Bytes)
+		ss += r * r
+	}
+	fit.ResidualRMS = math.Sqrt(ss / float64(n))
+	return fit, nil
+}

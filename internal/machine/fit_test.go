@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitCommRecoversLine feeds exact α-β samples and expects the fit to
+// recover the parameters.
+func TestFitCommRecoversLine(t *testing.T) {
+	const alpha = 20e-6 // 20 µs
+	const beta = 1.25e9 // 1.25 GB/s
+	var samples []CommSample
+	for _, b := range []int64{1 << 10, 8 << 10, 64 << 10, 512 << 10, 2 << 20} {
+		for i := 0; i < 3; i++ {
+			samples = append(samples, CommSample{Bytes: b, Seconds: alpha + float64(b)/beta})
+		}
+	}
+	fit, err := FitComm(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Degenerate {
+		t.Fatalf("exact line reported degenerate: %+v", fit)
+	}
+	if math.Abs(fit.AlphaSeconds-alpha) > 1e-9 {
+		t.Fatalf("alpha %v, want %v", fit.AlphaSeconds, alpha)
+	}
+	if math.Abs(fit.BytesPerSecond-beta)/beta > 1e-6 {
+		t.Fatalf("beta %v, want %v", fit.BytesPerSecond, beta)
+	}
+	if fit.ResidualRMS > 1e-12 {
+		t.Fatalf("exact line has residual %v", fit.ResidualRMS)
+	}
+	if dt := fit.CommTime(1 << 20); math.Abs(dt-(alpha+float64(1<<20)/beta)) > 1e-12 {
+		t.Fatalf("CommTime prices wrong: %v", dt)
+	}
+}
+
+// TestFitCommDegenerate: same-size samples cannot separate α from β and
+// must fall back to a pure-latency model, and Apply must not poison the
+// model with an infinite bandwidth.
+func TestFitCommDegenerate(t *testing.T) {
+	samples := []CommSample{{4096, 1e-4}, {4096, 2e-4}, {4096, 3e-4}}
+	fit, err := FitComm(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Degenerate {
+		t.Fatalf("same-size samples not flagged degenerate: %+v", fit)
+	}
+	if math.Abs(fit.AlphaSeconds-2e-4) > 1e-12 {
+		t.Fatalf("degenerate alpha %v, want mean 2e-4", fit.AlphaSeconds)
+	}
+	if !math.IsInf(fit.BytesPerSecond, 1) {
+		t.Fatalf("degenerate beta %v, want +Inf", fit.BytesPerSecond)
+	}
+	m := fit.Apply(Miriel())
+	if m.NetLatency != fit.AlphaSeconds {
+		t.Fatalf("Apply did not take the latency: %v", m.NetLatency)
+	}
+	if math.IsInf(m.NetBandwidth, 1) || m.NetBandwidth != Miriel().NetBandwidth {
+		t.Fatalf("Apply replaced bandwidth with %v on a degenerate fit", m.NetBandwidth)
+	}
+}
+
+// TestFitCommApply replaces both network terms on a healthy fit, and the
+// model's CommTime then prices with the measured numbers.
+func TestFitCommApply(t *testing.T) {
+	fit := CommFit{AlphaSeconds: 5e-5, BytesPerSecond: 2e9, Samples: 10}
+	m := fit.Apply(Miriel())
+	if m.NetLatency != 5e-5 || m.NetBandwidth != 2e9 {
+		t.Fatalf("Apply: latency %v bandwidth %v", m.NetLatency, m.NetBandwidth)
+	}
+	want := 5e-5 + float64(1<<20)/2e9
+	if got := m.CommTime(1 << 20); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CommTime %v, want %v", got, want)
+	}
+}
+
+// TestFitCommEmpty errors instead of returning a zero fit.
+func TestFitCommEmpty(t *testing.T) {
+	if _, err := FitComm(nil); err == nil {
+		t.Fatal("empty sample set accepted")
+	}
+}
+
+// TestFitCommNegativeSlope: if bigger frames measured faster (noise), the
+// fit must not report a negative bandwidth.
+func TestFitCommNegativeSlope(t *testing.T) {
+	samples := []CommSample{{1024, 3e-4}, {1 << 20, 1e-4}}
+	fit, err := FitComm(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Degenerate {
+		t.Fatalf("negative slope not flagged degenerate: %+v", fit)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -248,4 +249,114 @@ func TestPromFloat(t *testing.T) {
 			t.Fatalf("promFloat(%v) = %q, want %q", v, got, want)
 		}
 	}
+}
+
+func TestSummarizeSkipsCommEvents(t *testing.T) {
+	events := []Event{
+		{Kind: kernels.GEQRTKind, ID: 0, Flops: 100, Start: 0, End: 10},
+		{Op: OpSend, ID: 0, Node: 0, Peer: 1, WireBytes: 532, PayloadBytes: 512, Start: 10, End: 12},
+		{Op: OpRecv, ID: 0, Node: 1, Peer: 0, WireBytes: 532, PayloadBytes: 512, Start: 11, End: 13},
+	}
+	s := Summarize(events)
+	if s.Events != 1 {
+		t.Fatalf("Summarize counted %d events, want 1 (comm events skipped)", s.Events)
+	}
+	if s.Flops != 100 {
+		t.Fatalf("Summarize flops = %v, want 100", s.Flops)
+	}
+	if got := len(CommEvents(events)); got != 2 {
+		t.Fatalf("CommEvents kept %d events, want 2", got)
+	}
+	if got := len(TaskEvents(events)); got != 1 {
+		t.Fatalf("TaskEvents kept %d events, want 1", got)
+	}
+}
+
+func TestCommEventRecordNoAlloc(t *testing.T) {
+	tr := NewTracer(1, 1<<12)
+	r := tr.Ring(0)
+	ev := Event{Op: OpSend, ID: 7, Node: 0, Peer: 1, WireBytes: 1024, PayloadBytes: 1000,
+		Wait: 3 * time.Microsecond, Start: time.Microsecond, End: 2 * time.Microsecond}
+	allocs := testing.AllocsPerRun(100, func() { r.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("comm-event Record allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestLabeledHistogramRender(t *testing.T) {
+	h01 := NewHistogram(WireBuckets())
+	h10 := NewHistogram(WireBuckets())
+	h01.Observe(2e-6)
+	h01.Observe(3e-4)
+	h10.Observe(5e-3)
+	r := NewRegistry()
+	r.LabeledHistogram("test_link_seconds", "per-link latency", func() []LabeledHist {
+		return []LabeledHist{
+			{Label: `from="0",to="1"`, Hist: h01.Snapshot()},
+			{Label: `from="1",to="0"`, Hist: h10.Snapshot()},
+		}
+	})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_link_seconds histogram",
+		`test_link_seconds_bucket{from="0",to="1",le="+Inf"} 2`,
+		`test_link_seconds_bucket{from="1",to="0",le="+Inf"} 1`,
+		`test_link_seconds_count{from="0",to="1"} 2`,
+		`test_link_seconds_count{from="1",to="0"} 1`,
+		`test_link_seconds_sum{from="1",to="0"} 0.005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled histogram output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative le buckets stay monotone per label set.
+	if !strings.Contains(out, `test_link_seconds_bucket{from="0",to="1",le="2.5e-06"} 1`) {
+		t.Fatalf("expected 2µs observation in the 2.5e-06 bucket:\n%s", out)
+	}
+}
+
+// TestRegistryScrapeConcurrentWithUpdates hammers live histogram and
+// counter sources from many goroutines while scraping WriteText, so the
+// -race leg proves collect-on-scrape needs no registry-side locking.
+func TestRegistryScrapeConcurrentWithUpdates(t *testing.T) {
+	h := NewHistogram(nil)
+	var hits atomic.Int64
+	r := NewRegistry()
+	r.Counter("test_hits_total", "updates observed", func() float64 { return float64(hits.Load()) })
+	r.Histogram("test_latency_seconds", "latency", h.Snapshot)
+	r.LabeledHistogram("test_link_seconds", "per-link", func() []LabeledHist {
+		return []LabeledHist{{Label: `from="0",to="1"`, Hist: h.Snapshot()}}
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(i%100) * 1e-4)
+				hits.Add(1)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "test_latency_seconds_count") {
+			t.Fatal("scrape lost the histogram series")
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

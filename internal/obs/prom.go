@@ -21,6 +21,18 @@ func TimeBuckets() []float64 {
 	}
 }
 
+// WireBuckets returns bucket bounds for wire-level timings in seconds:
+// roughly exponential from 1µs to 1s. Loopback frames land in the low
+// microseconds, a real NIC in the tens-to-hundreds of microseconds, and
+// a stalled link in the milliseconds — TimeBuckets' 250µs floor would
+// collapse all healthy sends into one bucket.
+func WireBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
+	}
+}
+
 // Histogram is a concurrent fixed-bucket histogram: len(bounds)+1
 // buckets, the last catching observations above every bound. Observe is
 // lock-free (one atomic add per call plus the sum update), so it can sit
@@ -141,11 +153,22 @@ type Registry struct {
 	items []promItem
 }
 
+// LabeledHist pairs one rendered label set with a histogram snapshot,
+// one sample of a histogram family (e.g. per-link frame latency keyed by
+// `from="0",to="1"`).
+type LabeledHist struct {
+	// Label is the rendered label pairs between the braces, without the
+	// le label (added per bucket at render time).
+	Label string
+	Hist  HistogramSnapshot
+}
+
 type promItem struct {
 	name, help, typ string
 	scalar          func() float64
 	labeled         func() []LabeledValue
 	hist            func() HistogramSnapshot
+	lhist           func() []LabeledHist
 }
 
 // NewRegistry returns an empty registry.
@@ -177,6 +200,13 @@ func (r *Registry) Histogram(name, help string, f func() HistogramSnapshot) {
 	r.items = append(r.items, promItem{name: name, help: help, typ: "histogram", hist: f})
 }
 
+// LabeledHistogram registers a histogram family with one histogram per
+// label set, each rendered as _bucket{labels,le=…}/_sum{labels}/
+// _count{labels} series.
+func (r *Registry) LabeledHistogram(name, help string, f func() []LabeledHist) {
+	r.items = append(r.items, promItem{name: name, help: help, typ: "histogram", lhist: f})
+}
+
 // WriteText renders every registered metric.
 func (r *Registry) WriteText(w io.Writer) error {
 	var b strings.Builder
@@ -190,16 +220,11 @@ func (r *Registry) WriteText(w io.Writer) error {
 				fmt.Fprintf(&b, "%s{%s} %s\n", it.name, lv.Label, promFloat(lv.Value))
 			}
 		case it.hist != nil:
-			s := it.hist()
-			var cum uint64
-			for i, bound := range s.Bounds {
-				cum += s.Counts[i]
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", it.name, promFloat(bound), cum)
+			writeHist(&b, it.name, "", it.hist())
+		case it.lhist != nil:
+			for _, lh := range it.lhist() {
+				writeHist(&b, it.name, lh.Label, lh.Hist)
 			}
-			cum += s.Counts[len(s.Bounds)]
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", it.name, cum)
-			fmt.Fprintf(&b, "%s_sum %s\n", it.name, promFloat(s.Sum))
-			fmt.Fprintf(&b, "%s_count %d\n", it.name, cum)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -212,6 +237,29 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	if err := r.WriteText(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// writeHist renders one histogram's _bucket/_sum/_count series, with an
+// optional extra label prefix (the labeled-family case).
+func writeHist(b *strings.Builder, name, label string, s HistogramSnapshot) {
+	sep := ""
+	if label != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, label, sep, promFloat(bound), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, cum)
+	if label == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(s.Sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, cum)
+		return
+	}
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, label, promFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, cum)
 }
 
 // promFloat renders a float the way Prometheus expects (no exponent for

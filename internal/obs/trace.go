@@ -9,18 +9,62 @@ import (
 	"github.com/tiled-la/bidiag/internal/kernels"
 )
 
-// Event is one executed task instance in a measured run. Start and End
-// are offsets from the tracer's origin, so events from different workers
-// share one clock.
+// Op classifies an event. The zero value OpTask means "a task ran", so
+// every existing producer keeps recording task events with no change;
+// the distributed executor additionally records OpSend/OpRecv events for
+// each frame that crosses a transport link.
+type Op int8
+
+const (
+	// OpTask is a task execution (the zero value).
+	OpTask Op = iota
+	// OpSend is one frame handed to the transport (sender side).
+	OpSend
+	// OpRecv is one frame delivered and acted on (receiver side).
+	OpRecv
+)
+
+// String names the op for renderers.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	default:
+		return "task"
+	}
+}
+
+// Event is one executed task instance — or, when Op is OpSend/OpRecv,
+// one communication frame — in a measured run. Start and End are offsets
+// from the tracer's origin, so events from different workers share one
+// clock. The JSON tags define the raw gathered-trace interchange format
+// (cluster trace gather, cmd/trace -cluster).
+//
+// For comm events the fields are reinterpreted: ID is the frame's
+// Producer task (or a reserved negative producer for gather/control
+// frames), Node is the recording rank, Peer the remote rank, Wait the
+// send-queue wait between enqueue and NIC pickup (send side only), and
+// Kind is unused.
 type Event struct {
-	Kind    kernels.Kind
-	ID      int32 // task ID within its graph
-	Node    int32 // owning node (distributed runs; 0 in shared memory)
-	I, J, K int32 // tile coordinates
-	Worker  int32 // global worker index (node*workersPerNode + local)
-	Flops   float64
-	Start   time.Duration
-	End     time.Duration
+	Kind   kernels.Kind `json:"kind"`
+	Op     Op           `json:"op,omitempty"`
+	ID     int32        `json:"id"`             // task ID within its graph / frame producer
+	Node   int32        `json:"node"`           // owning node (distributed runs; 0 in shared memory)
+	Peer   int32        `json:"peer,omitempty"` // remote rank of a comm event
+	I      int32        `json:"i,omitempty"`
+	J      int32        `json:"j,omitempty"`
+	K      int32        `json:"k,omitempty"`
+	Worker int32        `json:"worker"` // global worker index (node*workersPerNode + local)
+	Flops  float64      `json:"flops,omitempty"`
+	// WireBytes and PayloadBytes size a comm event's frame as it went
+	// over the wire and as application payload.
+	WireBytes    int64         `json:"wire_bytes,omitempty"`
+	PayloadBytes int64         `json:"payload_bytes,omitempty"`
+	Wait         time.Duration `json:"wait,omitempty"`
+	Start        time.Duration `json:"start"`
+	End          time.Duration `json:"end"`
 }
 
 // Ring is one worker's event buffer: a preallocated, single-producer
@@ -187,8 +231,34 @@ type Summary struct {
 	PerWorker   []WorkerSummary // ascending worker order
 }
 
-// Summarize aggregates a collected trace.
+// TaskEvents filters a trace to its task events, dropping the OpSend /
+// OpRecv comm events a distributed run interleaves.
+func TaskEvents(events []Event) []Event {
+	out := events[:0:0]
+	for _, e := range events {
+		if e.Op == OpTask {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CommEvents filters a trace to its OpSend/OpRecv comm events.
+func CommEvents(events []Event) []Event {
+	out := events[:0:0]
+	for _, e := range events {
+		if e.Op != OpTask {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summarize aggregates a collected trace. Comm events are skipped: the
+// summary describes compute, and a send frame has no kernel kind to
+// attribute busy time to.
 func Summarize(events []Event) Summary {
+	events = TaskEvents(events)
 	s := Summary{Events: len(events)}
 	if len(events) == 0 {
 		return s

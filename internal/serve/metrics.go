@@ -20,6 +20,7 @@ type metrics struct {
 	jobsDone, jobsFailed, jobsCancelled uint64
 	gangBatches, gangJobs               uint64
 	cacheHits, cacheMisses              uint64
+	traceDropped                        uint64
 	inflight                            int
 
 	lat   *obs.Histogram // enqueue-to-completion, seconds
@@ -58,6 +59,14 @@ func (m *metrics) recordGang(members int) {
 	m.mu.Unlock()
 }
 
+// recordTraceDropped counts trace-ring events a traced job lost to a
+// TraceEventCap smaller than its task count.
+func (m *metrics) recordTraceDropped(n uint64) {
+	m.mu.Lock()
+	m.traceDropped += n
+	m.mu.Unlock()
+}
+
 func (m *metrics) recordHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *metrics) recordMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 
@@ -81,6 +90,10 @@ type Stats struct {
 	CacheHits, CacheMisses uint64
 	CacheEntries           int
 	CacheBytes, CacheCap   int64
+
+	// TraceDropped counts trace-ring events lost across every traced job
+	// whose rings overflowed (Config.TraceEventCap below the task count).
+	TraceDropped uint64
 
 	// WorkspaceBytes is the total scratch-arena footprint of the pool's
 	// workers.

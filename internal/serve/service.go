@@ -40,6 +40,11 @@ type Config struct {
 	// batch open for stragglers (default 2ms).
 	GangSize int
 	GangWait time.Duration
+	// TraceEventCap bounds each per-worker trace ring of a traced job.
+	// 0 sizes the rings at the job's task count so timelines are always
+	// complete; a smaller cap bounds trace memory instead, and events
+	// beyond it are dropped and counted in Stats.TraceDropped.
+	TraceEventCap int
 	// Runtime, when non-nil, is an externally owned shared pool — the
 	// service will not close it. Nil starts a pool of Workers.
 	Runtime *sched.Runtime
@@ -301,6 +306,7 @@ func (s *Service) Stats() Stats {
 		GangJobs:      s.met.gangJobs,
 		CacheHits:     s.met.cacheHits,
 		CacheMisses:   s.met.cacheMisses,
+		TraceDropped:  s.met.traceDropped,
 		CacheEntries:  entries,
 		CacheBytes:    bytes,
 		CacheCap:      capacity,
@@ -412,8 +418,13 @@ func (s *Service) runSolo(j *Job) {
 	var tr *obs.Tracer
 	if j.req.Trace {
 		// Sized at the task count so the timeline is complete however
-		// unevenly the shared pool balances the job.
-		tr = obs.NewTracer(s.rt.Workers(), len(g.Tasks))
+		// unevenly the shared pool balances the job, unless the
+		// configuration bounds trace memory with TraceEventCap.
+		ringCap := len(g.Tasks)
+		if s.cfg.TraceEventCap > 0 {
+			ringCap = s.cfg.TraceEventCap
+		}
+		tr = obs.NewTracer(s.rt.Workers(), ringCap)
 		g.Tracer = tr
 	}
 	var mt *obs.Meter
@@ -438,6 +449,9 @@ func (s *Service) runSolo(j *Job) {
 	res := &Result{Value: v, Queued: start.Sub(j.enqueued), Ran: time.Since(start)}
 	if tr != nil {
 		res.Trace = tr.Events()
+		if d := tr.Dropped(); d > 0 {
+			s.met.recordTraceDropped(uint64(d))
+		}
 	}
 	if mt != nil {
 		j.req.Observe(mt.Snapshot())

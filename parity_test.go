@@ -11,6 +11,7 @@ import (
 	"github.com/tiled-la/bidiag/internal/dist"
 	"github.com/tiled-la/bidiag/internal/jacobi"
 	"github.com/tiled-la/bidiag/internal/nla"
+	"github.com/tiled-la/bidiag/internal/obs"
 	"github.com/tiled-la/bidiag/internal/sched"
 	"github.com/tiled-la/bidiag/internal/tile"
 )
@@ -156,6 +157,52 @@ func TestExecutorParityLoopbackTCP(t *testing.T) {
 				}
 			}
 			diffTiles(t, "ExecuteNode over TCP vs RunSequential", refData, outs[0])
+
+			// Tracing must observe, never perturb: a second mesh pass with
+			// per-rank tracers recording every task and frame stays
+			// BITWISE-identical to the sequential reference.
+			trs2, err := dist.LoopbackTCPMesh(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				for _, tr := range trs2 {
+					tr.Close()
+				}
+			}()
+			touts := make([]*tile.Matrix, nodes)
+			terrs := make([]error, nodes)
+			events := make([]int, nodes)
+			var twg sync.WaitGroup
+			for rank := 0; rank < nodes; rank++ {
+				twg.Add(1)
+				go func(rank int) {
+					defer twg.Done()
+					g, data := buildGE2BND(src, tc.nb, tc.grid, wpn, tc.useR)
+					touts[rank] = data
+					// Ring indices are global (rank·wpn+local, plus NIC and
+					// receiver lanes), so the ring count covers this rank's
+					// highest index.
+					tr := obs.NewTracer(rank*wpn+wpn+2, 4*len(g.Tasks)+64)
+					g.Tracer = tr
+					_, terrs[rank] = dist.ExecuteNode(g, dist.NodeOptions{
+						Grid: tc.grid, WorkersPerNode: wpn,
+						Transport: trs2[rank], Rank: rank,
+						Gather: true, StallTimeout: 60 * time.Second,
+					})
+					events[rank] = len(tr.Events())
+				}(rank)
+			}
+			twg.Wait()
+			for rank, err := range terrs {
+				if err != nil {
+					t.Fatalf("traced rank %d: %v", rank, err)
+				}
+				if events[rank] == 0 {
+					t.Fatalf("traced rank %d recorded no events", rank)
+				}
+			}
+			diffTiles(t, "ExecuteNode over TCP with tracing ON vs RunSequential", refData, touts[0])
 		})
 	}
 }

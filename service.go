@@ -64,6 +64,12 @@ type ServiceConfig struct {
 	// default, 3; negative disables promotion so every Options.Auto job
 	// keeps exploring).
 	PlanMinSamples int
+	// TraceEventCap bounds each per-worker trace ring of a traced job
+	// (JobRequest.Trace). 0 sizes the rings at the job's task count so
+	// timelines are always complete; a smaller cap bounds trace memory
+	// instead, and events beyond it are dropped and counted in
+	// ServiceStats.TraceDropped.
+	TraceEventCap int
 }
 
 // ServiceStats is a point-in-time snapshot of a Service, mirroring what
@@ -80,6 +86,10 @@ type ServiceStats struct {
 	// WorkspaceBytes is the total scratch-arena footprint of the shared
 	// pool's workers.
 	WorkspaceBytes int64
+	// TraceDropped counts trace-ring events lost across every traced job
+	// whose rings overflowed (ServiceConfig.TraceEventCap below the
+	// job's task count).
+	TraceDropped uint64
 	// Latency and QueueWait are bucketed distributions (in seconds) of
 	// job latency (enqueue to completion, cache hits included) and queue
 	// wait (enqueue to dispatch) over the service's lifetime.
@@ -230,12 +240,13 @@ func NewService(cfg *ServiceConfig) *Service {
 	}
 	return &Service{
 		inner: serve.New(serve.Config{
-			Workers:     c.Workers,
-			QueueDepth:  c.QueueDepth,
-			MaxInFlight: c.MaxInFlight,
-			CacheBytes:  c.CacheBytes,
-			GangSize:    c.GangSize,
-			GangWait:    c.GangWait,
+			Workers:       c.Workers,
+			QueueDepth:    c.QueueDepth,
+			MaxInFlight:   c.MaxInFlight,
+			CacheBytes:    c.CacheBytes,
+			GangSize:      c.GangSize,
+			GangWait:      c.GangWait,
+			TraceEventCap: c.TraceEventCap,
 		}),
 		gangDim:  gangDim,
 		cacheOff: c.CacheBytes < 0,
@@ -280,6 +291,7 @@ func (s *Service) Stats() ServiceStats {
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		CacheEntries: st.CacheEntries, CacheBytes: st.CacheBytes, CacheCap: st.CacheCap,
 		WorkspaceBytes: st.WorkspaceBytes,
+		TraceDropped:   st.TraceDropped,
 		Latency:        toHistogramStats(st.Latency),
 		QueueWait:      toHistogramStats(st.QueueWait),
 		P50:            st.P50, P99: st.P99,
